@@ -1,0 +1,165 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper tables — these quantify what each pipeline refinement buys:
+
+* **Rare-UA alignment** (Section 6.4.3): how many under-supported
+  user-agents would sit in a misleading cluster without the lab-
+  reference override.
+* **Risk divisor** (Algorithm 1's empirical "/4"): how the flagged-
+  session risk distribution shifts under /2 and /8.
+* **Namespace probe** (Section 8 extension): recall on a sloppy
+  wrapper product whose engine matches the spoofed user-agent.
+* **Stratified sampling** (Section 8): accuracy and table coverage when
+  training on a heavily capped sample.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import trained_pipeline, training_dataset
+from repro.analysis.reporting import render_table
+from repro.browsers.useragent import parse_ua_key
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import BrowserPolygraph
+from repro.core.sampling import stratified_sample
+from repro.fingerprint.script import CollectionScript
+from repro.fraudbrowsers.base import FraudProfile
+from repro.fraudbrowsers.catalog import fraud_browser
+
+
+def test_ablation_rare_ua_alignment(benchmark):
+    dataset = training_dataset()
+
+    def run():
+        aligned = BrowserPolygraph().fit(dataset, align_rare=True)
+        raw = BrowserPolygraph().fit(dataset, align_rare=False)
+        moved = [
+            key
+            for key in aligned.cluster_model.ua_to_cluster
+            if aligned.cluster_model.ua_to_cluster[key]
+            != raw.cluster_model.ua_to_cluster.get(key)
+        ]
+        return aligned, moved
+
+    aligned, moved = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["Variant", "Accuracy", "Aligned UAs"],
+            [
+                ("with alignment", aligned.accuracy, len(aligned.cluster_model.aligned_uas_)),
+                ("without alignment", aligned.accuracy, 0),
+            ],
+            title="Ablation: rare user-agent alignment",
+            float_digits=4,
+        )
+    )
+    print(f"  table entries changed by alignment: {sorted(moved)}")
+    # Every overridden entry must match the lab-reference prediction.
+    for key in aligned.cluster_model.aligned_uas_:
+        reference = aligned.cluster_model.reference_vector(key)
+        assert aligned.cluster_model.predict_cluster(reference) == (
+            aligned.cluster_model.ua_to_cluster[key]
+        )
+
+
+def test_ablation_risk_divisor(benchmark):
+    dataset = training_dataset()
+
+    def run():
+        rows = []
+        for divisor in (2, 4, 8):
+            config = PipelineConfig(version_divisor=divisor)
+            polygraph = BrowserPolygraph(config).fit(dataset)
+            report = polygraph.detect(dataset)
+            rows.append(
+                (
+                    divisor,
+                    report.n_flagged,
+                    int(report.risk_over(1).sum()),
+                    int(report.risk_over(4).sum()),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["Divisor", "Flagged", "Risk > 1", "Risk > 4"],
+            rows,
+            title="Ablation: Algorithm 1 version divisor",
+        )
+    )
+    by_divisor = {row[0]: row for row in rows}
+    # The divisor scales version distances, not the mismatch set: the
+    # flagged count is stable while the risk distribution shifts.
+    assert by_divisor[2][1] == by_divisor[8][1]
+    assert by_divisor[2][2] >= by_divisor[8][2]
+
+
+def test_ablation_namespace_probe(benchmark):
+    dataset = training_dataset()
+
+    def run():
+        plain = trained_pipeline()
+        probing = BrowserPolygraph(
+            PipelineConfig(enable_namespace_probe=True)
+        ).fit(dataset)
+        ant = fraud_browser("AntBrowser-2023.05")
+        script = CollectionScript()
+        rows = []
+        for label, polygraph in (("probe off", plain), ("probe on", probing)):
+            caught = 0
+            total = 0
+            for cluster, members in polygraph.cluster_table.items():
+                for key in members[:2]:
+                    payload = script.run(
+                        ant.environment(FraudProfile(ant.full_name, parse_ua_key(key))),
+                        key,
+                    )
+                    caught += int(polygraph.detect_payload(payload).flagged)
+                    total += 1
+            rows.append((label, caught, total, f"{100 * caught / total:.0f}%"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["Variant", "Caught", "Profiles", "Recall"],
+            rows,
+            title="Ablation: namespace probe vs AntBrowser",
+        )
+    )
+    recall = {row[0]: row[1] / row[2] for row in rows}
+    assert recall["probe on"] == 1.0
+    assert recall["probe on"] > recall["probe off"]
+
+
+def test_ablation_stratified_sampling(benchmark):
+    dataset = training_dataset()
+
+    def run():
+        sampled = stratified_sample(dataset, max_per_stratum=600)
+        polygraph = BrowserPolygraph().fit(sampled)
+        return sampled, polygraph
+
+    sampled, polygraph = benchmark.pedantic(run, rounds=1, iterations=1)
+    full = trained_pipeline()
+    print()
+    print(
+        render_table(
+            ["Variant", "Rows", "Accuracy", "UAs in table"],
+            [
+                ("full window", len(dataset), full.accuracy, len(full.cluster_model.ua_to_cluster)),
+                ("stratified sample", len(sampled), polygraph.accuracy, len(polygraph.cluster_model.ua_to_cluster)),
+            ],
+            title="Ablation: stratified-sampling trainer",
+            float_digits=4,
+        )
+    )
+    assert len(sampled) < len(dataset) * 0.6
+    assert polygraph.accuracy > 0.98
+    assert set(polygraph.cluster_model.ua_to_cluster) == set(
+        full.cluster_model.ua_to_cluster
+    )

@@ -1,0 +1,10 @@
+"""Regenerates paper Figure 2: cumulative PCA variance per component."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import fig2_pca_variance
+
+
+def test_fig2_pca_variance(benchmark):
+    result = run_and_print(benchmark, fig2_pca_variance)
+    cumulative = [row[1] for row in result.rows]
+    assert cumulative[6] > 0.985  # paper: 7 components reach 98.5%

@@ -1,0 +1,10 @@
+"""Regenerates paper Figures 3 and 4: the elbow analysis over k."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import fig3_fig4_elbow
+
+
+def test_fig3_fig4_elbow(benchmark):
+    result = run_and_print(benchmark, fig3_fig4_elbow)
+    wcss = [row[1] for row in result.rows]
+    assert wcss[-1] < wcss[0] * 0.2  # curve flattens after the elbows

@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 5: anonymity-set size distribution."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import fig5_anonymity
+
+
+def test_fig5_anonymity(benchmark):
+    result = run_and_print(benchmark, fig5_anonymity)
+    shares = {row[0]: row[1] for row in result.rows}
+    assert shares["1"] < 2.0  # paper: 0.3% unique
+    assert shares.get("51-500", 0) + shares.get("501-+", 0) > 80.0

@@ -1,0 +1,22 @@
+"""Renders paper Figures 2-5 as ASCII charts from the live pipeline."""
+
+from repro.analysis.experiments import (
+    fig3_fig4_elbow,
+    fig5_anonymity,
+    fig2_pca_variance,
+)
+from repro.analysis.figures import render_figures
+
+
+def test_render_figures_ascii(benchmark):
+    def run():
+        pca = [row[1] for row in fig2_pca_variance().rows]
+        elbow = [tuple(row) for row in fig3_fig4_elbow().rows]
+        anonymity = {row[0]: row[1] for row in fig5_anonymity().rows}
+        return render_figures(pca, elbow, anonymity)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(text)
+    for needle in ("Figure 2", "Figure 3", "Figure 4", "Figure 5"):
+        assert needle in text

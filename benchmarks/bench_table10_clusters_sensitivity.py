@@ -1,0 +1,11 @@
+"""Regenerates paper Table 10: accuracy vs number of clusters."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table10_cluster_sensitivity
+
+
+def test_table10_cluster_sensitivity(benchmark):
+    result = run_and_print(benchmark, table10_cluster_sensitivity)
+    accuracy = {row[0]: row[1] for row in result.rows}
+    assert all(v > 97.0 for v in accuracy.values())
+    assert accuracy[5] >= accuracy[19] - 0.5  # gentle degradation

@@ -1,0 +1,10 @@
+"""Regenerates paper Table 11: accuracy vs PCA component count."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table11_pca_sensitivity
+
+
+def test_table11_pca_sensitivity(benchmark):
+    result = run_and_print(benchmark, table11_pca_sensitivity)
+    assert [row[0] for row in result.rows] == [6, 7, 8, 9, 10]
+    assert all(row[2] > 97.0 for row in result.rows)

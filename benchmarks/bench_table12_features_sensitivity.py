@@ -1,0 +1,9 @@
+"""Regenerates paper Table 12: accuracy vs feature count."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table12_feature_sensitivity
+
+
+def test_table12_feature_sensitivity(benchmark):
+    result = run_and_print(benchmark, table12_feature_sensitivity)
+    assert [row[0] for row in result.rows] == [28, 32, 36, 42]

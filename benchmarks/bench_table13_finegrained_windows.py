@@ -1,0 +1,11 @@
+"""Regenerates paper Table 13: coarse vs fine-grained clustering (Windows)."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table13_finegrained_windows
+
+
+def test_table13_finegrained_windows(benchmark):
+    result = run_and_print(benchmark, table13_finegrained_windows)
+    accuracy = {row[0]: row[5] for row in result.rows}
+    assert accuracy["Browser Polygraph"] >= accuracy["FingerprintJS"]
+    assert accuracy["Browser Polygraph"] > accuracy["ClientJS"]

@@ -1,0 +1,10 @@
+"""Regenerates paper Table 14: coarse vs fine-grained clustering (macOS)."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table14_finegrained_macos
+
+
+def test_table14_finegrained_macos(benchmark):
+    result = run_and_print(benchmark, table14_finegrained_macos)
+    accuracy = {row[0]: row[5] for row in result.rows}
+    assert accuracy["Browser Polygraph"] >= accuracy["ClientJS"]

@@ -1,0 +1,14 @@
+"""Regenerates paper Table 2: collection cost per fingerprinting tool."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table2_performance
+
+
+def test_table2_performance(benchmark):
+    result = run_and_print(benchmark, table2_performance)
+    costs = {row[0]: row for row in result.rows}
+    polygraph = costs["Browser Polygraph"]
+    assert polygraph[2] <= 1024  # FinOrg payload budget
+    assert polygraph[1] <= 100.0  # FinOrg latency budget
+    for name in ("AmIUnique", "FingerprintJS", "ClientJS"):
+        assert costs[name][2] > polygraph[2]

@@ -1,0 +1,16 @@
+"""Regenerates paper Table 4: tag enrichment among flagged sessions."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table4_flagging
+
+
+def test_table4_flagging(benchmark):
+    result = run_and_print(benchmark, table4_flagging)
+    rows = {row[0]: row for row in result.rows}
+    base, flagged = rows["All users"], rows["Flagged (all)"]
+    # Enrichment in every tag, with a monotone risk-factor gradient.
+    assert flagged[1] > base[1] + 10
+    assert flagged[2] > base[2] + 10
+    assert flagged[3] > 3 * base[3]
+    assert rows["Flagged, risk factor > 4"][1] >= flagged[1]
+    assert rows["Flagged, risk factor > 4"][3] >= flagged[3]

@@ -1,0 +1,14 @@
+"""Regenerates paper Table 6: drift analysis of the autumn releases."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table6_drift
+
+
+def test_table6_drift(benchmark):
+    result = run_and_print(benchmark, table6_drift)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["Firefox 119"][4] == "RETRAIN"  # cluster change
+    assert rows["Chrome 119"][3] < 98.0  # accuracy drop
+    for key in ("Chrome 116", "Firefox 117", "Edge 117"):
+        if key in rows:
+            assert rows[key][4] == ""

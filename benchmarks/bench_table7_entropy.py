@@ -1,0 +1,9 @@
+"""Regenerates paper Table 7: attribute entropy."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table7_entropy
+
+
+def test_table7_entropy(benchmark):
+    result = run_and_print(benchmark, table7_entropy)
+    assert result.rows[0][0] == "user-agent"  # most diverse attribute

@@ -1,0 +1,9 @@
+"""Regenerates paper Table 9: the less-optimal k=6 cluster table."""
+
+from conftest import run_and_print
+from repro.analysis.experiments import table9_k6
+
+
+def test_table9_k6(benchmark):
+    result = run_and_print(benchmark, table9_k6)
+    assert len(result.rows) == 6

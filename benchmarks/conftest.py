@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure through the shared
+drivers in :mod:`repro.analysis.experiments` and prints the resulting
+rows, so ``pytest benchmarks/ --benchmark-only`` reproduces the paper's
+entire evaluation section.
+
+Sizing: benchmarks default to the paper's full deployment scale (205k
+training sessions; the experiment drivers cache the trained pipeline
+across benchmarks, so the suite trains once).  Set a smaller
+``REPRO_SESSIONS`` (e.g. 40000) for a quick pass.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_SESSIONS", "205000")
+
+import pytest  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_pipeline():
+    """Train the shared pipeline once so benchmarks measure their own
+    experiment, not the common setup."""
+    from repro.analysis import experiments
+
+    experiments.trained_pipeline()
+    yield
+
+
+def run_and_print(benchmark, driver, *args, **kwargs):
+    """Benchmark a driver once and print its rendered table."""
+    result = benchmark.pedantic(
+        driver, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

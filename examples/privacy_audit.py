@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Privacy audit of the coarse-grained feature set (paper Section 7.4).
+
+The paper's privacy claim: the 28 features are useless for tracking —
+almost every fingerprint hides in a large anonymity set, and no feature
+adds identifiability beyond the user-agent string itself.  This example
+reproduces both measurements and contrasts them against a fine-grained
+collector run over the same population, where per-install device noise
+makes most fingerprints unique.
+
+Run:  python examples/privacy_audit.py
+"""
+
+from collections import Counter
+
+from repro import TrafficConfig, TrafficSimulator
+from repro.analysis.privacy import anonymity_figure, feature_entropy_table
+from repro.baselines import FingerprintJSTool, flatten_json
+from repro.browsers.profiles import BrowserProfile
+from repro.browsers.useragent import Vendor
+
+
+def main() -> None:
+    print("generating traffic ...")
+    dataset = TrafficSimulator(TrafficConfig(seed=3).scaled(60_000)).generate()
+
+    print("\nanonymity-set distribution of coarse fingerprints (Figure 5):")
+    for bucket, share in anonymity_figure(dataset).items():
+        bar = "#" * int(share / 2)
+        print(f"  sets of size {bucket:>7}: {share:6.2f}%  {bar}")
+
+    print("\nmost diverse attributes (Table 7):")
+    for name, entropy, normalized in feature_entropy_table(dataset):
+        print(f"  {normalized:5.2f} normalized / {entropy:5.2f} bits  {name}")
+    print("  (the user-agent leads, so the features add no tracking power)")
+
+    # Contrast: a fine-grained collector over a much smaller population
+    # already produces near-unique fingerprints.
+    print("\ncontrast: FingerprintJS-style fingerprints over 300 installs:")
+    tool = FingerprintJSTool()
+    hashes = []
+    for install in range(300):
+        profile = BrowserProfile(Vendor.CHROME, 110 + install % 5)
+        document = tool.run(profile, install_seed=install).fingerprint
+        flat = flatten_json(document)
+        hashes.append(hash(tuple(sorted(flat.items()))))
+    counts = Counter(hashes)
+    unique = sum(1 for h in hashes if counts[h] == 1)
+    print(
+        f"  {unique}/{len(hashes)} fingerprints unique "
+        f"({100 * unique / len(hashes):.1f}%) — fine-grained data tracks "
+        "users; coarse-grained data cannot"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: train Browser Polygraph and catch a lying browser.
+
+Walks the full paper pipeline at laptop scale:
+
+1. simulate a FinOrg-shaped traffic window (50k sessions);
+2. train the clustering model (scale -> outlier filter -> PCA -> k-means);
+3. inspect the learned cluster-to-user-agent table (paper Table 3);
+4. evaluate one genuine session and one fraud-browser session;
+5. persist and reload the trained model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BrowserPolygraph, CollectionScript, TrafficConfig, TrafficSimulator
+from repro.browsers.profiles import BrowserProfile
+from repro.browsers.useragent import Vendor, format_user_agent
+from repro.fraudbrowsers import fraud_browser
+from repro.fraudbrowsers.base import FraudProfile
+from repro.browsers.useragent import parse_user_agent
+
+
+def main() -> None:
+    # 1. Simulated FinOrg traffic: version mix, benign config quirks,
+    #    and a realistic trickle of fraud-browser sessions.
+    print("generating traffic ...")
+    dataset = TrafficSimulator(TrafficConfig(seed=7).scaled(50_000)).generate()
+    print(f"  {len(dataset)} sessions, {len(dataset.distinct_releases())} releases")
+
+    # 2. Train.
+    print("training Browser Polygraph ...")
+    polygraph = BrowserPolygraph().fit(dataset)
+    print(f"  clustering accuracy: {polygraph.accuracy:.4f} (paper: 0.996)")
+
+    # 3. The artifact fraud detection consumes: cluster -> user-agents.
+    print("cluster table (paper Table 3):")
+    for cluster, uas in sorted(polygraph.cluster_table.items()):
+        label = ", ".join(uas[:4]) + (" ..." if len(uas) > 4 else "")
+        print(f"  cluster {cluster:>2}: {label or '(no majority user-agent)'}")
+
+    # 4a. A genuine Chrome 112 session: the in-page script collects 28
+    #     integers (under 1KB) and the backend verdict is clean.
+    script = CollectionScript()
+    genuine = BrowserProfile(Vendor.CHROME, 112)
+    payload = script.run(genuine.environment(), genuine.user_agent(), "demo-1")
+    result = polygraph.detect_payload(payload)
+    print(
+        f"genuine Chrome 112: flagged={result.flagged} "
+        f"(payload {payload.size_bytes} bytes, "
+        f"{payload.service_time_ms:.2f} ms)"
+    )
+
+    # 4b. A GoLogin profile claiming to be the victim's Firefox 110:
+    #     its bundled Chromium engine betrays it.
+    gologin = fraud_browser("GoLogin-3.3.23")
+    victim_ua = format_user_agent(Vendor.FIREFOX, 110)
+    profile = FraudProfile(gologin.full_name, parse_user_agent(victim_ua))
+    payload = script.run(gologin.environment(profile), victim_ua, "demo-2")
+    result = polygraph.detect_payload(payload)
+    print(
+        f"GoLogin claiming Firefox 110: flagged={result.flagged}, "
+        f"risk factor={result.risk_factor} (vendor mismatch -> 20)"
+    )
+
+    # 5. The deployable model is one small JSON document.
+    polygraph.save("/tmp/browser_polygraph_model.json")
+    reloaded = BrowserPolygraph.load("/tmp/browser_polygraph_model.json")
+    again = reloaded.detect_payload(payload)
+    assert again.flagged == result.flagged and again.risk_factor == result.risk_factor
+    print("model saved, reloaded, and verdicts agree — done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim: lets `pip install -e .` work without the wheel package.
+
+Also declares the console script explicitly, because older setuptools
+releases do not read ``[project.scripts]`` from pyproject.toml.
+"""
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "browser-polygraph = repro.cli:main",
+        ]
+    }
+)

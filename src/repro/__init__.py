@@ -1,0 +1,51 @@
+"""Browser Polygraph — reproduction of Kalantari et al., IMC 2024.
+
+Coarse-grained, privacy-preserving browser fingerprints for web-scale
+detection of fraud (anti-detect) browsers, rebuilt end to end on a
+simulated browser universe: a deterministic JavaScript-API evolution
+model, a FinOrg-shaped traffic generator, fraud-browser simulators, a
+from-scratch ML substrate (scaler / PCA / k-means / Isolation Forest),
+and the full train -> detect -> drift -> retrain pipeline.
+
+Quickstart::
+
+    from repro import BrowserPolygraph, TrafficSimulator, TrafficConfig
+
+    dataset = TrafficSimulator(TrafficConfig(n_sessions=50_000)).generate()
+    polygraph = BrowserPolygraph().fit(dataset)
+    report = polygraph.detect(dataset)
+    print(polygraph.accuracy, report.n_flagged)
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.detection import DetectionReport, DetectionResult, FraudDetector
+from repro.core.drift import DriftDetector, DriftRecord
+from repro.core.pipeline import BrowserPolygraph
+from repro.core.risk import risk_factor, user_agent_distance
+from repro.fingerprint.features import FEATURE_NAMES, FEATURE_SPECS, N_FEATURES
+from repro.fingerprint.script import CollectionScript, FingerprintPayload
+from repro.traffic.dataset import Dataset
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BrowserPolygraph",
+    "CollectionScript",
+    "Dataset",
+    "DetectionReport",
+    "DetectionResult",
+    "DriftDetector",
+    "DriftRecord",
+    "FEATURE_NAMES",
+    "FEATURE_SPECS",
+    "FingerprintPayload",
+    "FraudDetector",
+    "N_FEATURES",
+    "PipelineConfig",
+    "TrafficConfig",
+    "TrafficSimulator",
+    "risk_factor",
+    "user_agent_distance",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Evaluation analyses: privacy, sensitivity sweeps, experiment drivers.
+
+* :mod:`repro.analysis.privacy` — anonymity sets and feature entropy
+  (paper Figure 5 and Table 7);
+* :mod:`repro.analysis.sensitivity` — the Appendix-4 sweeps over k, PCA
+  components and feature count, plus the Appendix-5 clustering protocol
+  used for the fine-grained comparison;
+* :mod:`repro.analysis.experiments` — one driver per paper table/figure,
+  shared by the benchmark harness and the CLI;
+* :mod:`repro.analysis.reporting` — fixed-width table rendering.
+"""
+
+from repro.analysis.figures import bar_chart, line_chart, render_figures
+from repro.analysis.privacy import anonymity_figure, feature_entropy_table
+from repro.analysis.reporting import render_table
+from repro.analysis.sensitivity import (
+    ProtocolResult,
+    clustering_protocol,
+    sweep_clusters,
+    sweep_features,
+    sweep_pca,
+)
+
+__all__ = [
+    "ProtocolResult",
+    "anonymity_figure",
+    "bar_chart",
+    "clustering_protocol",
+    "feature_entropy_table",
+    "line_chart",
+    "render_figures",
+    "render_table",
+    "sweep_clusters",
+    "sweep_features",
+    "sweep_pca",
+]

@@ -1,0 +1,83 @@
+"""Calibration audit of the traffic simulator.
+
+The reproduction's Table 4-7 results are only meaningful if the
+synthetic FinOrg traffic actually carries the paper's marginals.  This
+module audits a generated dataset against the published deployment
+statistics — base tag rates, release diversity, fraud prevalence,
+privacy marginals — and reports any drift.  It runs in CI (tests) so a
+future change to the generator cannot silently decalibrate the
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.privacy import anonymity_figure, unique_fingerprint_share
+from repro.traffic.dataset import Dataset
+
+__all__ = ["CalibrationCheck", "audit_traffic"]
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One audited marginal."""
+
+    name: str
+    paper_value: str
+    measured: str
+    within_tolerance: bool
+
+
+def _check(name: str, paper: str, measured: float, low: float, high: float,
+           fmt: str = "{:.4f}") -> CalibrationCheck:
+    return CalibrationCheck(
+        name=name,
+        paper_value=paper,
+        measured=fmt.format(measured),
+        within_tolerance=low <= measured <= high,
+    )
+
+
+def audit_traffic(dataset: Dataset) -> List[CalibrationCheck]:
+    """Audit a training-window dataset against the paper's marginals."""
+    if len(dataset) < 1_000:
+        raise ValueError("calibration audit needs at least 1000 sessions")
+    n = len(dataset)
+    rates = dataset.tag_rates()
+    checks = [
+        _check(
+            "Untrusted_IP base rate", "51%",
+            rates["untrusted_ip"], 0.47, 0.55,
+        ),
+        _check(
+            "Untrusted_Cookie base rate", "49%",
+            rates["untrusted_cookie"], 0.45, 0.53,
+        ),
+        _check(
+            "ATO base rate", "0.43%",
+            rates["ato"], 0.002, 0.008,
+        ),
+        _check(
+            "distinct browser releases", "113",
+            float(len(dataset.distinct_releases())), 60, 220, fmt="{:.0f}",
+        ),
+        _check(
+            "detectable (cat 1/2) fraud prevalence", "~0.3% (inferred)",
+            float(dataset.is_detectable_fraud().sum()) / n, 0.0005, 0.01,
+        ),
+        _check(
+            "unique fingerprint share", "0.3%",
+            unique_fingerprint_share(dataset), 0.0, 0.02,
+        ),
+    ]
+    survey = anonymity_figure(dataset)
+    large_sets = survey.get("51-500", 0.0) + survey.get("501-+", 0.0)
+    checks.append(
+        _check(
+            "fingerprints in anonymity sets > 50", "95.6%",
+            large_sets, 80.0, 100.0, fmt="{:.1f}",
+        )
+    )
+    return checks

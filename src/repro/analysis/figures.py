@@ -1,0 +1,118 @@
+"""Plain-text figure rendering.
+
+The paper's figures (2: cumulative PCA variance, 3: WCSS elbow, 4:
+relative WCSS, 5: anonymity sets) are line/bar charts.  This repository
+has no plotting dependency, so these renderers draw them as aligned
+ASCII charts — good enough to *read the shape* in a terminal or a CI
+log, which is what the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["bar_chart", "line_chart", "render_figures"]
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the largest value."""
+    if not items:
+        raise ValueError("nothing to chart")
+    peak = max(value for _, value in items)
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        filled = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{label.rjust(label_width)} | "
+            f"{'#' * filled}{' ' * (width - filled)} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Scatter-style line chart on a character grid."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        raise ValueError("nothing to chart")
+    width = max(2 * len(xs), 20)
+    y_low, y_high = min(ys), max(ys)
+    span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_low, x_high = min(xs), max(xs)
+    x_span = (x_high - x_low) or 1.0
+    for x, y in zip(xs, ys):
+        column = round_half((width - 1) * (x - x_low) / x_span)
+        row = round_half((height - 1) * (1.0 - (y - y_low) / span))
+        grid[row][column] = "*"
+
+    lines = [title] if title else []
+    lines.append(f"{y_high:>12.3f} |")
+    for row_cells in grid:
+        lines.append(" " * 12 + " |" + "".join(row_cells))
+    lines.append(f"{y_low:>12.3f} |" + "-" * width)
+    lines.append(
+        " " * 14 + f"x: {x_low:g} .. {x_high:g}"
+        + (f"   y: {y_label}" if y_label else "")
+    )
+    return "\n".join(lines)
+
+
+def round_half(value: float) -> int:
+    """Round to nearest int, ties away from zero (stable across floats)."""
+    return int(value + (0.5 if value >= 0 else -0.5))
+
+
+def render_figures(
+    pca_cumulative: Sequence[float],
+    elbow_rows: Sequence[Tuple[int, float, float]],
+    anonymity: Dict[str, float],
+) -> str:
+    """Render Figures 2-5 as one text block."""
+    parts: List[str] = []
+    parts.append(
+        line_chart(
+            list(range(1, len(pca_cumulative) + 1)),
+            list(pca_cumulative),
+            title="Figure 2: cumulative PCA variance vs components",
+            y_label="cumulative variance",
+        )
+    )
+    ks = [row[0] for row in elbow_rows]
+    parts.append(
+        line_chart(
+            ks,
+            [row[1] for row in elbow_rows],
+            title="Figure 3: WCSS vs number of clusters",
+            y_label="WCSS",
+        )
+    )
+    parts.append(
+        line_chart(
+            ks,
+            [row[2] for row in elbow_rows],
+            title="Figure 4: relative WCSS gain vs number of clusters",
+            y_label="relative gain",
+        )
+    )
+    parts.append(
+        bar_chart(
+            list(anonymity.items()),
+            title="Figure 5: % of fingerprints per anonymity-set size",
+            unit="%",
+        )
+    )
+    return "\n\n".join(parts)

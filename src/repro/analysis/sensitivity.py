@@ -1,0 +1,186 @@
+"""Sensitivity sweeps (Appendix-4) and the Appendix-5 protocol.
+
+The sweeps share one expensive preprocessing pass (scale + outlier
+filter) and re-run only the stage under study, so Table 10's eight
+cluster counts do not pay for eight Isolation Forests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.preprocessing import Preprocessor
+from repro.ml.elbow import elbow_analysis, select_k_elbow
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import majority_cluster_accuracy
+from repro.ml.pca import PCA
+from repro.ml.scaler import StandardScaler
+
+__all__ = [
+    "ProtocolResult",
+    "clustering_protocol",
+    "sweep_clusters",
+    "sweep_features",
+    "sweep_pca",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of the full Section 6.4 recipe on one feature matrix."""
+
+    n_rows: int
+    n_features: int
+    n_pca_components: int
+    k: int
+    accuracy: float
+
+
+def _prepare(
+    matrix: np.ndarray,
+    ua_keys: Sequence[str],
+    config: PipelineConfig,
+) -> Tuple[np.ndarray, List[str]]:
+    """Shared preprocessing: scale, drop outliers, return train data."""
+    preprocessor = Preprocessor(config)
+    scaled, inliers = preprocessor.fit(np.asarray(matrix, dtype=float))
+    keys = [k for k, keep in zip(ua_keys, inliers) if keep]
+    return scaled[inliers], keys
+
+
+def sweep_clusters(
+    matrix: np.ndarray,
+    ua_keys: Sequence[str],
+    ks: Sequence[int] = (5, 7, 9, 11, 13, 15, 17, 19),
+    config: PipelineConfig = PipelineConfig(),
+) -> List[Tuple[int, float]]:
+    """Table 10: accuracy vs number of clusters (28 features, 7 PCs)."""
+    train, keys = _prepare(matrix, ua_keys, config)
+    projected = PCA(n_components=config.n_pca_components).fit_transform(train)
+    rows = []
+    for k in ks:
+        kmeans = KMeans(
+            n_clusters=int(k),
+            n_init=config.kmeans_n_init,
+            random_state=config.random_state,
+        ).fit(projected)
+        rows.append((int(k), majority_cluster_accuracy(keys, kmeans.labels_)))
+    return rows
+
+
+def sweep_pca(
+    matrix: np.ndarray,
+    ua_keys: Sequence[str],
+    components: Sequence[int] = (6, 7, 8, 9, 10),
+    config: PipelineConfig = PipelineConfig(),
+    elbow_ks: Sequence[int] = tuple(range(2, 20)),
+) -> List[Tuple[int, int, float]]:
+    """Table 11: (components, optimal k, accuracy) per PCA width."""
+    train, keys = _prepare(matrix, ua_keys, config)
+    rows = []
+    for n_components in components:
+        projected = PCA(n_components=int(n_components)).fit_transform(train)
+        elbow = elbow_analysis(
+            projected, elbow_ks, n_init=2, random_state=config.random_state
+        )
+        best_k = select_k_elbow(elbow, min_k=5)
+        kmeans = KMeans(
+            n_clusters=best_k,
+            n_init=config.kmeans_n_init,
+            random_state=config.random_state,
+        ).fit(projected)
+        rows.append(
+            (int(n_components), best_k, majority_cluster_accuracy(keys, kmeans.labels_))
+        )
+    return rows
+
+
+def sweep_features(
+    matrix: np.ndarray,
+    ua_keys: Sequence[str],
+    feature_steps: Sequence[Sequence[int]],
+    config: PipelineConfig = PipelineConfig(),
+    elbow_ks: Sequence[int] = tuple(range(2, 20)),
+) -> List[Tuple[int, int, int, float]]:
+    """Table 12: grow the feature set and re-run the full recipe.
+
+    ``feature_steps`` lists column-index sets (e.g. the 28 canonical
+    columns, then 32, 36, 42 following the standard-deviation ranking).
+    Returns ``(n_features, n_pca, k, accuracy)`` per step.
+    """
+    data = np.asarray(matrix, dtype=float)
+    rows = []
+    for columns in feature_steps:
+        columns = list(columns)
+        step_config = config.with_overrides(
+            scale_columns=list(range(len(columns)))
+        )
+        train, keys = _prepare(data[:, columns], ua_keys, step_config)
+        full_pca = PCA().fit(train)
+        cumulative = full_pca.cumulative_variance_ratio()
+        n_components = int(np.searchsorted(cumulative, 0.985) + 1)
+        n_components = max(2, min(n_components, train.shape[1]))
+        projected = PCA(n_components=n_components).fit_transform(train)
+        elbow = elbow_analysis(
+            projected, elbow_ks, n_init=2, random_state=config.random_state
+        )
+        best_k = select_k_elbow(elbow, min_k=5)
+        kmeans = KMeans(
+            n_clusters=best_k,
+            n_init=config.kmeans_n_init,
+            random_state=config.random_state,
+        ).fit(projected)
+        rows.append(
+            (
+                len(columns),
+                n_components,
+                best_k,
+                majority_cluster_accuracy(keys, kmeans.labels_),
+            )
+        )
+    return rows
+
+
+def clustering_protocol(
+    matrix: np.ndarray,
+    labels: Sequence[str],
+    variance_target: float = 0.985,
+    elbow_ks: Sequence[int] = tuple(range(2, 18)),
+    random_state: int = 1337,
+    max_k: Optional[int] = None,
+    min_k: int = 4,
+) -> ProtocolResult:
+    """The Appendix-5 recipe: scale, PCA to a variance target, elbow, fit.
+
+    Used to cluster the flattened fine-grained fingerprints (Tables 13
+    and 14) with exactly the same steps as the coarse-grained model.
+    """
+    data = np.asarray(matrix, dtype=float)
+    if data.shape[0] != len(labels):
+        raise ValueError("matrix rows and labels must align")
+    scaled = StandardScaler().fit_transform(data)
+    full_pca = PCA().fit(scaled)
+    cumulative = full_pca.cumulative_variance_ratio()
+    n_components = int(np.searchsorted(cumulative, variance_target) + 1)
+    n_components = max(2, min(n_components, min(scaled.shape) - 1))
+    projected = PCA(n_components=n_components).fit_transform(scaled)
+
+    usable_ks = [k for k in elbow_ks if k < data.shape[0]]
+    elbow = elbow_analysis(projected, usable_ks, n_init=2, random_state=random_state)
+    best_k = select_k_elbow(elbow, min_k=min_k)
+    if max_k is not None:
+        best_k = min(best_k, max_k)
+    kmeans = KMeans(n_clusters=best_k, n_init=4, random_state=random_state).fit(
+        projected
+    )
+    return ProtocolResult(
+        n_rows=data.shape[0],
+        n_features=data.shape[1],
+        n_pca_components=n_components,
+        k=best_k,
+        accuracy=majority_cluster_accuracy(list(labels), kmeans.labels_),
+    )

@@ -1,0 +1,36 @@
+"""Fine-grained fingerprinting baselines.
+
+The paper compares Browser Polygraph against three fine-grained tools:
+FingerprintJS and ClientJS (Table 2 cost comparison, Appendix-5
+clustering comparison) and AmIUnique (Table 2 only).  The real tools
+need real browsers; these simulators reproduce the two properties the
+comparisons rest on:
+
+* **cost** — each tool's collection performs work and emits payload
+  bytes proportional to what the paper measured (canvas rendering, font
+  probing, WebGL queries for the fine-grained tools; 28 integer reads
+  for Browser Polygraph);
+* **information content** — each tool's JSON output carries the same
+  *kind* of signal as the original: FingerprintJS mixes engine-era
+  signals with per-install device noise, ClientJS exposes only a few
+  coarse device properties, so after the Appendix-5 flattening pipeline
+  the clustering accuracies order the same way the paper reports.
+"""
+
+from repro.baselines.amiunique import AmIUniqueTool
+from repro.baselines.clientjs import ClientJSTool
+from repro.baselines.finegrained import CollectionRun, FineGrainedTool
+from repro.baselines.fingerprintjs import FingerprintJSTool
+from repro.baselines.flatten import encode_for_clustering, flatten_json
+from repro.baselines.perf import measure_tools
+
+__all__ = [
+    "AmIUniqueTool",
+    "ClientJSTool",
+    "CollectionRun",
+    "FineGrainedTool",
+    "FingerprintJSTool",
+    "encode_for_clustering",
+    "flatten_json",
+    "measure_tools",
+]

@@ -1,0 +1,55 @@
+"""AmIUnique-style collector.
+
+AmIUnique's browser extension is the heavyweight of Table 2 (~1.5s,
+~60KB): it exhaustively probes fonts, media devices, HTTP headers and
+runs multiple canvas scenes.  The paper uses it only in the cost
+comparison, so fidelity here is about workload and payload size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.finegrained import FineGrainedTool
+from repro.browsers.profiles import BrowserProfile
+
+__all__ = ["AmIUniqueTool"]
+
+
+class AmIUniqueTool(FineGrainedTool):
+    """Simulated AmIUnique extension collector."""
+
+    name = "AmIUnique"
+    canvas_edge = 480
+    font_probes = 520
+    webgl_queries = 64
+    extra_iterations = 600
+
+    def collect(self, profile: BrowserProfile, device: Dict) -> Dict:
+        """Assemble this tool's fingerprint document."""
+        rng = np.random.default_rng(profile.version)
+        headers = {
+            "Accept": "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8",
+            "Accept-Encoding": "gzip, deflate, br",
+            "Accept-Language": "en-US,en;q=0.5",
+            "Upgrade-Insecure-Requests": "1",
+            "User-Agent": profile.user_agent(),
+        }
+        probes = {
+            f"probe_{i:04d}": {
+                "name": f"attribute-{i}",
+                "value": "z" * 40,
+                "present": bool(rng.integers(0, 2)),
+            }
+            for i in range(600)
+        }
+        return {
+            "headers": headers,
+            "canvas": device.get("canvas_hash", ""),
+            "fonts": device.get("fonts", []),
+            "webgl": device.get("webgl", {}),
+            "entropyPool": device.get("entropy_pool", ""),
+            "probes": probes,
+        }

@@ -1,0 +1,87 @@
+"""The Appendix-5 flattening/encoding pipeline.
+
+To compare fine-grained JSON fingerprints against coarse-grained ones in
+a clustering task, the paper flattens nested objects into columns,
+converts values to numbers (numerics unchanged, booleans to 0/1, strings
+to categorical codes, missing to -1), drops columns that are unique per
+row (pure device noise), and — for ClientJS — drops the columns derived
+from the user-agent string, since they would leak the clustering label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["encode_for_clustering", "flatten_json"]
+
+
+def flatten_json(document: Dict, prefix: str = "") -> Dict[str, object]:
+    """Flatten nested dicts/lists into dotted-key scalar columns.
+
+    Lists flatten to their length plus a joined preview, mirroring how
+    the paper turned list-valued components into usable columns.
+    """
+    flat: Dict[str, object] = {}
+    for key, value in document.items():
+        column = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten_json(value, column))
+        elif isinstance(value, (list, tuple)):
+            flat[f"{column}.length"] = len(value)
+            preview = ",".join(str(v) for v in value[:8])
+            flat[f"{column}.preview"] = preview
+        else:
+            flat[column] = value
+    return flat
+
+
+def encode_for_clustering(
+    documents: Sequence[Dict],
+    exclude_prefixes: Tuple[str, ...] = ("userAgent", "ua_", "headers.User-Agent"),
+) -> Tuple[np.ndarray, List[str]]:
+    """Flatten + numerically encode a batch of fingerprints.
+
+    Returns ``(matrix, column_names)`` ready for the Section 6.4
+    clustering recipe.  Columns excluded: user-agent-derived ones (they
+    would leak the label) and columns unique across all rows (pure
+    device noise, useless for grouping).
+    """
+    if not documents:
+        raise ValueError("no documents to encode")
+    flats = [flatten_json(doc) for doc in documents]
+    columns = sorted({key for flat in flats for key in flat})
+    columns = [
+        c for c in columns if not any(c.startswith(p) for p in exclude_prefixes)
+    ]
+
+    encoded = np.full((len(flats), len(columns)), -1.0)
+    for col_idx, column in enumerate(columns):
+        codes: Dict[str, int] = {}
+        for row_idx, flat in enumerate(flats):
+            if column not in flat:
+                continue  # missing -> -1
+            value = flat[column]
+            if isinstance(value, bool):
+                encoded[row_idx, col_idx] = 1.0 if value else 0.0
+            elif isinstance(value, (int, float)):
+                encoded[row_idx, col_idx] = float(value)
+            else:
+                text = str(value)
+                if text not in codes:
+                    codes[text] = len(codes)
+                encoded[row_idx, col_idx] = float(codes[text])
+
+    keep = []
+    n_rows = len(flats)
+    for col_idx, column in enumerate(columns):
+        values = encoded[:, col_idx]
+        distinct = np.unique(values).size
+        if distinct <= 1:
+            continue  # constant: carries nothing
+        if distinct == n_rows and n_rows > 2:
+            continue  # unique per row: device noise
+        keep.append(col_idx)
+    kept_names = [columns[i] for i in keep]
+    return encoded[:, keep], kept_names

@@ -1,0 +1,37 @@
+"""Legitimate browser universe: releases, user-agents, configurations.
+
+This subpackage models the population of genuine browsers the paper
+trains on — Chrome 59-119, Firefox 46-119, Edge 17-19 and 79-119 — plus
+the derivative browsers (Brave, Tor) whose user-agents masquerade as
+their upstream while their API surfaces subtly differ (Section 6.3).
+"""
+
+from repro.browsers.configs import (
+    BENIGN_PERTURBATIONS,
+    Perturbation,
+    perturbation_by_name,
+)
+from repro.browsers.derivatives import brave_environment, tor_environment
+from repro.browsers.profiles import BrowserProfile
+from repro.browsers.releases import (
+    ReleaseCalendar,
+    default_calendar,
+    engine_for_vendor,
+)
+from repro.browsers.useragent import ParsedUserAgent, Vendor, format_user_agent, parse_user_agent
+
+__all__ = [
+    "BENIGN_PERTURBATIONS",
+    "BrowserProfile",
+    "ParsedUserAgent",
+    "Perturbation",
+    "ReleaseCalendar",
+    "Vendor",
+    "brave_environment",
+    "default_calendar",
+    "engine_for_vendor",
+    "format_user_agent",
+    "parse_user_agent",
+    "perturbation_by_name",
+    "tor_environment",
+]

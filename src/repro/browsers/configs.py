@@ -1,0 +1,235 @@
+"""Browser configuration and extension perturbations.
+
+Section 6.3 of the paper documents how user choices distort the
+coarse-grained features of otherwise legitimate browsers:
+
+* Firefox ``about:config`` switches — disabling Service Workers zeroes
+  the whole ``ServiceWorker`` interface family; toggling
+  ``dom.element.transform-getters.enabled`` shifts ``Element``;
+* Chrome extensions — the DuckDuckGo extension injects two custom
+  properties into ``Element``;
+* privacy hardening — resist-fingerprinting style settings that disable
+  recent APIs wholesale, which makes a browser *look older* than its
+  user-agent claims (the main source of benign low-risk flags in the
+  paper's deployment);
+* staged field trials — Chrome 119's partial rollout that degrades
+  clustering accuracy to 97.22% in Table 6.
+
+Each :class:`Perturbation` describes its effect declaratively so it can
+be applied either to a single :class:`~repro.jsengine.environment.JSEnvironment`
+or vectorized over feature matrices by the traffic generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.browsers.useragent import Vendor
+from repro.jsengine.environment import JSEnvironment
+from repro.jsengine.evolution import Engine
+
+__all__ = [
+    "BENIGN_PERTURBATIONS",
+    "Perturbation",
+    "perturbation_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """A benign distortion of the JavaScript surface.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (used in logs and tests).
+    engine:
+        Engine family the perturbation applies to; ``None`` means any.
+    probability:
+        Share of that engine's sessions carrying the perturbation in the
+        simulated FinOrg traffic.
+    count_adjustments:
+        Structural-count deltas per interface.
+    zeroed_interfaces:
+        Interfaces removed outright.
+    downgrade_versions:
+        If positive, feature values are computed as if the browser were
+        this many versions older (privacy hardening disables recent
+        APIs); applied before the other effects.
+    min_version / max_version:
+        Version window in which the perturbation exists (field trials).
+    """
+
+    name: str
+    engine: Optional[Engine] = None
+    vendor: Optional[Vendor] = None
+    probability: float = 0.0
+    count_adjustments: Dict[str, int] = field(default_factory=dict)
+    zeroed_interfaces: Tuple[str, ...] = ()
+    downgrade_versions: int = 0
+    min_version: Optional[int] = None
+    max_version: Optional[int] = None
+
+    def applies_to(
+        self, engine: Engine, version: int, vendor: Optional[Vendor] = None
+    ) -> bool:
+        """Whether this perturbation can occur on the given release.
+
+        ``vendor`` further narrows vendor-specific rollouts (Chrome
+        field trials never reach Edge builds of the same engine).
+        """
+        if self.engine is not None and engine is not self.engine:
+            return False
+        if (
+            self.vendor is not None
+            and vendor is not None
+            and vendor is not self.vendor
+        ):
+            return False
+        if self.min_version is not None and version < self.min_version:
+            return False
+        if self.max_version is not None and version > self.max_version:
+            return False
+        return True
+
+    def apply(self, environment: JSEnvironment) -> JSEnvironment:
+        """Produce a perturbed copy of ``environment``."""
+        if not self.applies_to(environment.engine, environment.version):
+            return environment
+        base = environment
+        if self.downgrade_versions > 0:
+            base = JSEnvironment(
+                environment.engine,
+                max(1, environment.version - self.downgrade_versions),
+                model=environment.model,
+                count_adjustments=environment.count_adjustments,
+                zeroed_interfaces=environment.zeroed_interfaces,
+            )
+        return base.with_overrides(
+            count_adjustments=self.count_adjustments,
+            zeroed_interfaces=self.zeroed_interfaces,
+        )
+
+
+_SERVICE_WORKER_FAMILY = (
+    "ServiceWorker",
+    "ServiceWorkerContainer",
+    "ServiceWorkerRegistration",
+)
+_PAYMENT_DRM_FAMILY = (
+    "PaymentRequest",
+    "PaymentResponse",
+    "PaymentAddress",
+    "MediaKeys",
+    "PushManager",
+    "PushSubscription",
+    "PushSubscriptionOptions",
+    "Presentation",
+    "PresentationAvailability",
+    "PresentationConnection",
+    "PresentationConnectionAvailableEvent",
+    "PresentationConnectionCloseEvent",
+    "PresentationConnectionList",
+    "PresentationReceiver",
+    "PresentationRequest",
+)
+_WEBRTC_FAMILY = (
+    "RTCIceCandidate",
+    "RTCPeerConnection",
+    "RTCRtpReceiver",
+    "RTCRtpSender",
+    "RTCRtpTransceiver",
+    "RTCDataChannel",
+    "RTCDataChannelEvent",
+    "RTCDTMFSender",
+    "RTCDTMFToneChangeEvent",
+    "RTCCertificate",
+    "RTCSessionDescription",
+    "RTCStatsReport",
+    "RTCTrackEvent",
+    "RTCPeerConnectionIceEvent",
+)
+
+BENIGN_PERTURBATIONS: Tuple[Perturbation, ...] = (
+    # Firefox about:config -------------------------------------------------
+    Perturbation(
+        name="ff-disable-serviceworkers",
+        engine=Engine.GECKO,
+        probability=0.020,
+        zeroed_interfaces=_SERVICE_WORKER_FAMILY,
+    ),
+    Perturbation(
+        name="ff-transform-getters",
+        engine=Engine.GECKO,
+        probability=0.008,
+        count_adjustments={"Element": -2},
+    ),
+    Perturbation(
+        name="ff-privacy-hardened",
+        engine=Engine.GECKO,
+        probability=0.0040,
+        downgrade_versions=10,
+        zeroed_interfaces=_SERVICE_WORKER_FAMILY + _WEBRTC_FAMILY,
+        min_version=101,
+    ),
+    # Enterprise builds with feature rollouts frozen by policy: the
+    # surface lags the user-agent by a few releases, producing the
+    # benign low-risk-factor mismatches Section 7.1 describes.
+    Perturbation(
+        name="chromium-enterprise-frozen",
+        engine=Engine.CHROMIUM,
+        probability=0.0030,
+        downgrade_versions=6,
+        min_version=90,
+    ),
+    # Chrome extensions ----------------------------------------------------
+    Perturbation(
+        name="ext-duckduckgo",
+        engine=Engine.CHROMIUM,
+        probability=0.004,
+        count_adjustments={"Element": 2},
+    ),
+    Perturbation(
+        name="ext-adblock",
+        engine=Engine.CHROMIUM,
+        probability=0.003,
+        count_adjustments={"Element": 1, "Document": 1},
+    ),
+    # WebRTC disabled via enterprise policy / extension on any engine ------
+    Perturbation(
+        name="disable-webrtc",
+        probability=0.010,
+        zeroed_interfaces=_WEBRTC_FAMILY,
+    ),
+    # Privacy/enterprise policies that switch off payment, DRM, push and
+    # presentation APIs wholesale — the reason these interfaces are
+    # excluded from the final feature set as configuration-sensitive.
+    Perturbation(
+        name="disable-payment-drm",
+        probability=0.007,
+        zeroed_interfaces=_PAYMENT_DRM_FAMILY,
+    ),
+    # Chrome 119 field-trial kill switch (Section 7.3 / Table 6): a
+    # server-side rollback disabled the post-112 API batches for a
+    # cohort of Chrome 119 users, exposing an era-older surface and
+    # degrading the release's clustering accuracy below the 98% drift
+    # threshold — the Chrome half of the paper's October retrain signal.
+    Perturbation(
+        name="chrome-119-field-trial",
+        engine=Engine.CHROMIUM,
+        vendor=Vendor.CHROME,
+        probability=0.035,
+        downgrade_versions=7,
+        min_version=119,
+        max_version=119,
+    ),
+)
+
+
+def perturbation_by_name(name: str) -> Perturbation:
+    """Look up a benign perturbation by its identifier."""
+    for perturbation in BENIGN_PERTURBATIONS:
+        if perturbation.name == name:
+            return perturbation
+    raise KeyError(f"unknown perturbation: {name!r}")

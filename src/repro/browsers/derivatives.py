@@ -1,0 +1,87 @@
+"""Derivative browsers: Brave and Tor.
+
+Section 6.3 singles out two legitimate browsers whose user-agents
+impersonate their upstream:
+
+* **Brave** reports a user-agent identical to the matching Chrome
+  release, but its privacy shields trim several interface surfaces, so
+  its coarse-grained fingerprint deviates from genuine Chrome.  In the
+  paper's data these sessions are a source of *benign* cluster
+  mismatches.
+* **Tor Browser** reports the Firefox ESR user-agent it derives from —
+  which lags the Firefox release train by roughly a year — while its
+  hardened configuration zeroes many APIs.  The paper excluded Tor from
+  the analysis; we model it so that exclusion can be exercised.
+"""
+
+from __future__ import annotations
+
+from repro.jsengine.environment import JSEnvironment
+from repro.jsengine.evolution import Engine
+
+__all__ = [
+    "BRAVE_COUNT_ADJUSTMENTS",
+    "TOR_ZEROED_INTERFACES",
+    "brave_environment",
+    "tor_environment",
+    "tor_claimed_firefox_version",
+]
+
+# Brave's shields remove or trim fingerprinting-adjacent surfaces.  The
+# offsets are sized to land Brave a few standard deviations away from
+# genuine Chrome in the final feature space — far enough that k-means
+# gives Brave sessions their own satellite cluster (one of the two
+# clusters of Table 3 that hold no majority user-agent).
+BRAVE_COUNT_ADJUSTMENTS = {
+    "Element": -5,
+    "Document": -4,
+    "SVGElement": -3,
+    "CanvasRenderingContext2D": -6,
+    "WebGL2RenderingContext": -9,
+    "WebGLRenderingContext": -7,
+    "AudioContext": -3,
+    "HTMLVideoElement": -2,
+    "Navigator": -3,
+}
+
+TOR_ZEROED_INTERFACES = (
+    "ServiceWorker",
+    "ServiceWorkerContainer",
+    "ServiceWorkerRegistration",
+    "RTCIceCandidate",
+    "RTCPeerConnection",
+    "RTCRtpReceiver",
+    "RTCRtpSender",
+    "RTCRtpTransceiver",
+    "RTCDataChannel",
+    "WebGL2RenderingContext",
+    "CanvasRenderingContext2D",
+    "AudioContext",
+    "BaseAudioContext",
+)
+
+_TOR_ESR_LAG = 13  # Tor Browser tracks the ESR line ~a year behind.
+
+
+def brave_environment(chrome_version: int) -> JSEnvironment:
+    """Brave build matching a Chrome version (and claiming its UA)."""
+    return JSEnvironment(
+        Engine.CHROMIUM,
+        chrome_version,
+        count_adjustments=BRAVE_COUNT_ADJUSTMENTS,
+    )
+
+
+def tor_claimed_firefox_version(firefox_current: int) -> int:
+    """Firefox ESR version a contemporary Tor Browser claims."""
+    return max(1, firefox_current - _TOR_ESR_LAG)
+
+
+def tor_environment(firefox_current: int) -> JSEnvironment:
+    """Tor Browser surface for the ESR base of ``firefox_current``."""
+    return JSEnvironment(
+        Engine.GECKO,
+        tor_claimed_firefox_version(firefox_current),
+        zeroed_interfaces=TOR_ZEROED_INTERFACES,
+        count_adjustments={"Element": -6, "Document": -4},
+    )

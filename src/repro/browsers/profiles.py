@@ -1,0 +1,58 @@
+"""Browser profiles: (vendor, version, perturbations) -> environment.
+
+A :class:`BrowserProfile` is the unit of the paper's lab experiments —
+"a browser instance" on BrowserStack or a local install.  It knows its
+claimed user-agent and can materialize the :class:`JSEnvironment` the
+collection script will run against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.browsers.configs import Perturbation
+from repro.browsers.releases import engine_for_vendor
+from repro.browsers.useragent import Vendor, format_user_agent
+from repro.jsengine.environment import JSEnvironment
+from repro.jsengine.evolution import EvolutionModel
+
+__all__ = ["BrowserProfile"]
+
+
+@dataclass(frozen=True)
+class BrowserProfile:
+    """A concrete legitimate browser installation.
+
+    Parameters
+    ----------
+    vendor, version:
+        The release; the user-agent is derived from it truthfully.
+    perturbations:
+        Benign configuration/extension perturbations active on this
+        installation.
+    os_token:
+        Operating-system token embedded in the user-agent (Windows by
+        default; the Appendix-5 experiments also use macOS).
+    """
+
+    vendor: Vendor
+    version: int
+    perturbations: Tuple[Perturbation, ...] = ()
+    os_token: Optional[str] = None
+
+    def user_agent(self) -> str:
+        """The truthful user-agent string of this installation."""
+        return format_user_agent(self.vendor, self.version, self.os_token)
+
+    def ua_key(self) -> str:
+        """Canonical ``vendor-version`` label."""
+        return f"{self.vendor.value}-{self.version}"
+
+    def environment(self, model: Optional[EvolutionModel] = None) -> JSEnvironment:
+        """Materialize the JavaScript surface of this installation."""
+        engine = engine_for_vendor(self.vendor, self.version)
+        environment = JSEnvironment(engine, self.version, model=model)
+        for perturbation in self.perturbations:
+            environment = perturbation.apply(environment)
+        return environment

@@ -1,0 +1,186 @@
+"""Release calendar for the browsers in scope.
+
+The drift-detection experiments (Sections 6.6 and 7.3) are anchored to
+real release dates: the designated evaluation dates fall "a few days
+after the latest Firefox release, with the newest Chrome and Edge
+versions released approximately one to two weeks earlier".  This module
+reconstructs an approximate calendar from a handful of well-known anchor
+releases with linear interpolation in between — the same fidelity the
+paper needs (ordering and spacing, not day-exact dates).
+
+Dates are plain :class:`datetime.date` objects; the traffic generator
+samples sessions between two dates and weights versions by their age at
+the session date.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from datetime import date, timedelta
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.browsers.useragent import Vendor
+from repro.jsengine.evolution import Engine
+
+__all__ = [
+    "Release",
+    "ReleaseCalendar",
+    "default_calendar",
+    "engine_for_vendor",
+]
+
+
+@dataclass(frozen=True)
+class Release:
+    """One browser release: vendor, major version, and ship date."""
+
+    vendor: Vendor
+    version: int
+    released: date
+
+    def key(self) -> str:
+        """Canonical ``vendor-version`` label."""
+        return f"{self.vendor.value}-{self.version}"
+
+
+# Anchor (version, date) pairs; versions between anchors interpolate
+# linearly.  Sources: Chromium/Gecko release archives (approximate).
+_CHROME_ANCHORS: Tuple[Tuple[int, date], ...] = (
+    (59, date(2017, 6, 5)),
+    (70, date(2018, 10, 16)),
+    (80, date(2020, 2, 4)),
+    (90, date(2021, 4, 14)),
+    (96, date(2021, 11, 15)),  # six-week cadence ends
+    (110, date(2023, 2, 7)),  # four-week cadence
+    (114, date(2023, 5, 30)),
+    (115, date(2023, 7, 18)),
+    (116, date(2023, 8, 15)),
+    (117, date(2023, 9, 12)),
+    (118, date(2023, 10, 10)),
+    (119, date(2023, 10, 31)),
+)
+
+_FIREFOX_ANCHORS: Tuple[Tuple[int, date], ...] = (
+    (46, date(2016, 4, 26)),
+    (57, date(2017, 11, 14)),
+    (70, date(2019, 10, 22)),
+    (85, date(2021, 1, 26)),
+    (100, date(2022, 5, 3)),
+    (110, date(2023, 2, 14)),
+    (114, date(2023, 6, 6)),
+    (115, date(2023, 7, 4)),
+    (116, date(2023, 8, 1)),
+    (117, date(2023, 8, 29)),
+    (118, date(2023, 9, 26)),
+    (119, date(2023, 10, 24)),
+)
+
+# Legacy Edge shipped with Windows 10 feature updates; Chromium Edge
+# tracks the Chrome schedule with a few days of lag.
+_EDGEHTML_RELEASES: Tuple[Tuple[int, date], ...] = (
+    (17, date(2018, 4, 30)),
+    (18, date(2018, 11, 13)),
+    (19, date(2019, 5, 21)),
+)
+_EDGE_CHROMIUM_FIRST = 79
+_EDGE_LAG_DAYS = 6
+
+
+def engine_for_vendor(vendor: Vendor, version: int) -> Engine:
+    """Engine family implementing a given vendor release."""
+    if vendor is Vendor.FIREFOX:
+        return Engine.GECKO
+    if vendor is Vendor.EDGE and version < _EDGE_CHROMIUM_FIRST:
+        return Engine.EDGEHTML
+    return Engine.CHROMIUM
+
+
+def _interpolate(anchors: Sequence[Tuple[int, date]], version: int) -> date:
+    versions = [v for v, _ in anchors]
+    if version <= versions[0]:
+        return anchors[0][1]
+    if version >= versions[-1]:
+        # Extrapolate at the cadence of the last anchor gap.
+        (v0, d0), (v1, d1) = anchors[-2], anchors[-1]
+        per_version = (d1 - d0) / (v1 - v0)
+        return d1 + per_version * (version - versions[-1])
+    idx = bisect_right(versions, version) - 1
+    (v0, d0), (v1, d1) = anchors[idx], anchors[idx + 1]
+    fraction = (version - v0) / (v1 - v0)
+    return d0 + timedelta(days=(d1 - d0).days * fraction)
+
+
+class ReleaseCalendar:
+    """All releases in scope, queryable by vendor, version, or date."""
+
+    def __init__(
+        self,
+        chrome_range: Tuple[int, int] = (59, 119),
+        firefox_range: Tuple[int, int] = (46, 119),
+        edge_chromium_range: Tuple[int, int] = (79, 119),
+    ) -> None:
+        self._releases: Dict[Tuple[Vendor, int], Release] = {}
+        for version in range(chrome_range[0], chrome_range[1] + 1):
+            self._add(Vendor.CHROME, version, _interpolate(_CHROME_ANCHORS, version))
+        for version in range(firefox_range[0], firefox_range[1] + 1):
+            self._add(
+                Vendor.FIREFOX, version, _interpolate(_FIREFOX_ANCHORS, version)
+            )
+        for version, released in _EDGEHTML_RELEASES:
+            self._add(Vendor.EDGE, version, released)
+        for version in range(edge_chromium_range[0], edge_chromium_range[1] + 1):
+            chrome_date = _interpolate(_CHROME_ANCHORS, version)
+            self._add(
+                Vendor.EDGE, version, chrome_date + timedelta(days=_EDGE_LAG_DAYS)
+            )
+
+    def _add(self, vendor: Vendor, version: int, released: date) -> None:
+        self._releases[(vendor, version)] = Release(vendor, version, released)
+
+    def release(self, vendor: Vendor, version: int) -> Release:
+        """Look up one release; raises ``KeyError`` for out-of-scope ones."""
+        return self._releases[(Vendor(vendor), int(version))]
+
+    def has_release(self, vendor: Vendor, version: int) -> bool:
+        """Whether the (vendor, version) pair is modeled."""
+        return (Vendor(vendor), int(version)) in self._releases
+
+    def all_releases(self) -> List[Release]:
+        """Every modeled release, sorted by date then vendor."""
+        return sorted(
+            self._releases.values(), key=lambda r: (r.released, r.vendor.value, r.version)
+        )
+
+    def released_before(self, vendor: Vendor, cutoff: date) -> List[Release]:
+        """Releases of ``vendor`` shipped strictly before ``cutoff``."""
+        return sorted(
+            (
+                release
+                for (v, _), release in self._releases.items()
+                if v is Vendor(vendor) and release.released < cutoff
+            ),
+            key=lambda r: r.version,
+        )
+
+    def latest_before(self, vendor: Vendor, cutoff: date) -> Release:
+        """Most recent ``vendor`` release before ``cutoff``."""
+        candidates = self.released_before(vendor, cutoff)
+        if not candidates:
+            raise KeyError(f"no {Vendor(vendor).value} release before {cutoff}")
+        return candidates[-1]
+
+    def new_releases_between(self, start: date, end: date) -> List[Release]:
+        """Releases shipped in ``[start, end)`` across all vendors."""
+        return [
+            release
+            for release in self.all_releases()
+            if start <= release.released < end
+        ]
+
+
+@lru_cache(maxsize=1)
+def default_calendar() -> ReleaseCalendar:
+    """Shared calendar covering the paper's full study window."""
+    return ReleaseCalendar()

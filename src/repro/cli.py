@@ -1,0 +1,213 @@
+"""Command-line interface: ``browser-polygraph`` / ``python -m repro``.
+
+Subcommands:
+
+* ``train``       — generate the training window, fit, save the model;
+* ``detect``      — load a model and evaluate a saved dataset;
+* ``drift``       — load a model and run the drift check on a window;
+* ``experiment``  — regenerate any paper table/figure by name;
+* ``simulate``    — generate and save a synthetic FinOrg dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import date
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import experiments
+from repro.core.pipeline import BrowserPolygraph
+from repro.traffic.dataset import Dataset
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+
+__all__ = ["main"]
+
+_EXPERIMENTS: Dict[str, Callable[[], "experiments.ExperimentResult"]] = {
+    "table2": experiments.table2_performance,
+    "table3": experiments.table3_cluster_table,
+    "table4": experiments.table4_flagging,
+    "table5": experiments.table5_fraud_browsers,
+    "table6": experiments.table6_drift,
+    "table7": experiments.table7_entropy,
+    "table9": experiments.table9_k6,
+    "table10": experiments.table10_cluster_sensitivity,
+    "table11": experiments.table11_pca_sensitivity,
+    "table12": experiments.table12_feature_sensitivity,
+    "table13": experiments.table13_finegrained_windows,
+    "table14": experiments.table14_finegrained_macos,
+    "fig2": experiments.fig2_pca_variance,
+    "fig3": experiments.fig3_fig4_elbow,
+    "fig4": experiments.fig3_fig4_elbow,
+    "fig5": experiments.fig5_anonymity,
+}
+
+
+def _parse_date(text: str) -> date:
+    return date.fromisoformat(text)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="browser-polygraph",
+        description="Coarse-grained browser fingerprinting for fraud detection "
+        "(IMC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a synthetic FinOrg dataset")
+    simulate.add_argument("output", help="output .npz path")
+    simulate.add_argument("--sessions", type=int, default=205_000)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--start", type=_parse_date, default=date(2023, 3, 1))
+    simulate.add_argument("--end", type=_parse_date, default=date(2023, 7, 1))
+
+    train = sub.add_parser("train", help="fit Browser Polygraph and save the model")
+    train.add_argument("model", help="output model .json path")
+    train.add_argument("--dataset", help="training dataset .npz (default: simulate)")
+    train.add_argument("--sessions", type=int, default=205_000)
+    train.add_argument("--seed", type=int, default=7)
+
+    detect = sub.add_parser("detect", help="evaluate a dataset with a saved model")
+    detect.add_argument("model", help="model .json path")
+    detect.add_argument("dataset", help="dataset .npz path")
+    detect.add_argument("--risk-threshold", type=int, default=0)
+
+    drift = sub.add_parser("drift", help="drift-check a dataset with a saved model")
+    drift.add_argument("model", help="model .json path")
+    drift.add_argument("dataset", help="dataset .npz path")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument(
+        "name",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="paper table/figure to regenerate",
+    )
+
+    sub.add_parser("figures", help="render Figures 2-5 as ASCII charts")
+
+    report = sub.add_parser(
+        "report", help="generate the paper-vs-measured EXPERIMENTS report"
+    )
+    report.add_argument("--output", help="write markdown here instead of stdout")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = TrafficConfig(
+        seed=args.seed, start=args.start, end=args.end
+    ).scaled(args.sessions)
+    dataset = TrafficSimulator(config).generate()
+    dataset.save(args.output)
+    print(
+        f"wrote {len(dataset)} sessions "
+        f"({len(dataset.distinct_releases())} releases) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    if args.dataset:
+        dataset = Dataset.load(args.dataset)
+    else:
+        config = TrafficConfig(seed=args.seed).scaled(args.sessions)
+        dataset = TrafficSimulator(config).generate()
+    pipeline = BrowserPolygraph().fit(dataset)
+    pipeline.save(args.model)
+    print(
+        f"trained on {len(dataset)} sessions; accuracy "
+        f"{pipeline.accuracy:.4f}; model saved to {args.model}"
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    pipeline = BrowserPolygraph.load(args.model)
+    dataset = Dataset.load(args.dataset)
+    report = pipeline.detect(dataset)
+    over = report.risk_over(args.risk_threshold)
+    print(
+        f"{len(dataset)} sessions: {report.n_flagged} flagged, "
+        f"{int(over.sum())} above risk factor {args.risk_threshold}, "
+        f"{report.n_unknown_ua} with unknown user-agents"
+    )
+    for idx in report.flagged_indices()[:20]:
+        print(
+            f"  {dataset.session_ids[idx]}  ua={dataset.ua_keys[idx]}  "
+            f"cluster {report.predicted[idx]} (expected {report.expected[idx]})  "
+            f"risk={report.risk_factors[idx]}"
+        )
+    if report.n_flagged > 20:
+        print(f"  ... and {report.n_flagged - 20} more")
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    pipeline = BrowserPolygraph.load(args.model)
+    dataset = Dataset.load(args.dataset)
+    records = pipeline.drift_report(dataset)
+    threshold = pipeline.config.drift_accuracy_threshold
+    for record in records:
+        marker = "RETRAIN" if record.retrain_needed(threshold) else "ok"
+        print(
+            f"{record.ua_key:>14}  cluster {record.cluster} "
+            f"(baseline {record.baseline_cluster})  "
+            f"accuracy {100 * record.accuracy:.2f}%  "
+            f"n={record.n_sessions}  {marker}"
+        )
+    print(f"retraining needed: {pipeline.retrain_needed(records)}")
+    return 0
+
+
+def _cmd_figures(_: argparse.Namespace) -> int:
+    from repro.analysis.figures import render_figures
+
+    pca = [row[1] for row in experiments.fig2_pca_variance().rows]
+    elbow = [tuple(row) for row in experiments.fig3_fig4_elbow().rows]
+    anonymity = {row[0]: row[1] for row in experiments.fig5_anonymity().rows}
+    print(render_figures(pca, elbow, anonymity))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.paper_report import generate_report
+
+    text = generate_report()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = sorted(_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        print(_EXPERIMENTS[name]().render())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "train": _cmd_train,
+        "detect": _cmd_detect,
+        "drift": _cmd_drift,
+        "experiment": _cmd_experiment,
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

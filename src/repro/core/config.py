@@ -1,0 +1,60 @@
+"""Pipeline hyper-parameters.
+
+Defaults pin the paper's deployed configuration: 28 features, 7 PCA
+components, k=11 clusters, an Isolation Forest contamination of 0.002%
+(the threshold that removed 172 of 205k rows), a 100-row support floor
+for trusting a user-agent's learned cluster, a 98% drift-accuracy
+threshold, and Algorithm 1's risk constants (vendor mismatch = 20,
+version divisor = 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.fingerprint.features import deviation_feature_indices
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Every tunable of the Browser Polygraph pipeline."""
+
+    n_pca_components: int = 7
+    n_clusters: int = 11
+    kmeans_n_init: int = 6
+    random_state: int = 1337
+    outlier_contamination: float = 2e-5
+    outlier_trees: int = 100
+    scale_columns: Optional[List[int]] = field(
+        default_factory=deviation_feature_indices
+    )
+    min_ua_support: int = 100
+    drift_accuracy_threshold: float = 0.98
+    vendor_mismatch_risk: int = 20
+    version_divisor: int = 4
+    # What to do with user-agents outside the trained table: "ignore"
+    # (paper behaviour: out of scope, not flagged) or "flag".
+    unknown_ua_policy: str = "ignore"
+    # Section 8 extension: escalate sessions whose collection payload
+    # carries fraud-browser namespace artifacts (ANTBROWSER and friends)
+    # to maximum risk, independent of the clustering verdict.
+    enable_namespace_probe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_pca_components < 1:
+            raise ValueError("n_pca_components must be >= 1")
+        if self.n_clusters < 2:
+            raise ValueError("n_clusters must be >= 2")
+        if not 0.0 < self.outlier_contamination < 0.5:
+            raise ValueError("outlier_contamination must lie in (0, 0.5)")
+        if self.version_divisor < 1:
+            raise ValueError("version_divisor must be >= 1")
+        if self.unknown_ua_policy not in ("ignore", "flag"):
+            raise ValueError("unknown_ua_policy must be 'ignore' or 'flag'")
+
+    def with_overrides(self, **kwargs) -> "PipelineConfig":
+        """Copy with selected fields replaced (sensitivity sweeps)."""
+        return replace(self, **kwargs)

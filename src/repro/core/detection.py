@@ -1,0 +1,184 @@
+"""Online fraud detection (Section 6.5).
+
+For every incoming session the detector:
+
+1. predicts the cluster of the session's coarse-grained fingerprint;
+2. looks up the cluster its claimed user-agent *should* be in
+   (paper Table 3);
+3. flags the session when the two disagree, attaching Algorithm 1's
+   risk factor computed against the predicted cluster's user-agents.
+
+Sessions whose user-agent is outside the trained table are out of scope
+for the paper (mobile browsers, exotic engines); the
+``unknown_ua_policy`` config decides whether they are ignored (default)
+or flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.browsers.useragent import (
+    ParsedUserAgent,
+    UserAgentError,
+    parse_ua_key,
+    parse_user_agent,
+)
+from repro.core.clustering import ClusterModel
+from repro.core.risk import risk_factor
+from repro.traffic.dataset import Dataset
+
+__all__ = ["DetectionReport", "DetectionResult", "FraudDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of evaluating one session."""
+
+    ua_key: str
+    predicted_cluster: int
+    expected_cluster: Optional[int]
+    flagged: bool
+    risk_factor: Optional[int]
+
+    @property
+    def known_ua(self) -> bool:
+        """Whether the claimed user-agent exists in the trained table."""
+        return self.expected_cluster is not None
+
+
+@dataclass
+class DetectionReport:
+    """Vectorized outcome over a dataset."""
+
+    ua_keys: np.ndarray
+    predicted: np.ndarray
+    expected: np.ndarray  # -1 where the user-agent is unknown
+    flagged: np.ndarray
+    risk_factors: np.ndarray  # -1 where not flagged
+
+    def __len__(self) -> int:
+        return int(self.flagged.shape[0])
+
+    @property
+    def n_flagged(self) -> int:
+        """Number of flagged sessions."""
+        return int(self.flagged.sum())
+
+    @property
+    def n_unknown_ua(self) -> int:
+        """Sessions whose user-agent is outside the trained table."""
+        return int((self.expected < 0).sum())
+
+    def flagged_indices(self) -> np.ndarray:
+        """Row indices of flagged sessions."""
+        return np.nonzero(self.flagged)[0]
+
+    def risk_over(self, threshold: int) -> np.ndarray:
+        """Mask of flagged sessions with ``risk_factor > threshold``."""
+        return self.flagged & (self.risk_factors > threshold)
+
+
+class FraudDetector:
+    """Applies a trained :class:`ClusterModel` to live sessions."""
+
+    def __init__(self, model: ClusterModel) -> None:
+        if model.kmeans is None:
+            raise ValueError("FraudDetector requires a fitted ClusterModel")
+        self.model = model
+        self.config = model.config
+        # Pre-parse each cluster's user-agents once: Algorithm 1 runs per
+        # session and must stay cheap.
+        self._cluster_parsed: Dict[int, List[ParsedUserAgent]] = {
+            cluster: [parse_ua_key(k) for k in keys]
+            for cluster, keys in model.cluster_table.items()
+        }
+
+    # ------------------------------------------------------------------
+
+    def evaluate_vector(self, vector: np.ndarray, user_agent: str) -> DetectionResult:
+        """Evaluate one session from its raw feature vector and UA."""
+        parsed = self._parse(user_agent)
+        predicted = self.model.predict_cluster(np.asarray(vector))
+        return self._decide(parsed, predicted)
+
+    def evaluate_dataset(self, dataset: Dataset) -> DetectionReport:
+        """Evaluate every session of a dataset (vectorized prediction)."""
+        predicted = self.model.predict_clusters(dataset.matrix())
+        n = len(dataset)
+        expected = np.full(n, -1, dtype=np.int64)
+        flagged = np.zeros(n, dtype=bool)
+        risks = np.full(n, -1, dtype=np.int64)
+        # The decision depends only on (ua_key, predicted cluster); memoize
+        # it so 205k rows cost a few hundred Algorithm 1 evaluations.
+        memo: Dict = {}
+        for idx in range(n):
+            key = (dataset.ua_keys[idx], int(predicted[idx]))
+            result = memo.get(key)
+            if result is None:
+                result = self._decide_key(str(key[0]), key[1])
+                memo[key] = result
+            expected[idx] = -1 if result.expected_cluster is None else result.expected_cluster
+            flagged[idx] = result.flagged
+            if result.risk_factor is not None:
+                risks[idx] = result.risk_factor
+        return DetectionReport(
+            ua_keys=dataset.ua_keys.copy(),
+            predicted=predicted.astype(np.int64),
+            expected=expected,
+            flagged=flagged,
+            risk_factors=risks,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _parse(self, user_agent: str) -> Optional[ParsedUserAgent]:
+        try:
+            if user_agent.startswith("Mozilla/"):
+                return parse_user_agent(user_agent)
+            return parse_ua_key(user_agent)
+        except UserAgentError:
+            return None
+
+    def _decide(
+        self, parsed: Optional[ParsedUserAgent], predicted: int
+    ) -> DetectionResult:
+        if parsed is None:
+            return self._unknown("<unparseable>", predicted)
+        return self._decide_key(parsed.key(), predicted)
+
+    def _decide_key(self, ua_key: str, predicted: int) -> DetectionResult:
+        expected = self.model.expected_cluster(ua_key)
+        if expected is None:
+            return self._unknown(ua_key, predicted)
+        if predicted == expected:
+            return DetectionResult(ua_key, predicted, expected, False, None)
+        risk = risk_factor(
+            ua_key,
+            self._cluster_parsed.get(predicted, ()),
+            vendor_mismatch=self.config.vendor_mismatch_risk,
+            version_divisor=self.config.version_divisor,
+        )
+        return DetectionResult(ua_key, predicted, expected, True, risk)
+
+    def _unknown(self, ua_key: str, predicted: int) -> DetectionResult:
+        if self.config.unknown_ua_policy == "flag":
+            risk = risk_factor(
+                ua_key,
+                self._cluster_parsed.get(predicted, ()),
+                vendor_mismatch=self.config.vendor_mismatch_risk,
+                version_divisor=self.config.version_divisor,
+            ) if _parseable(ua_key) else self.config.vendor_mismatch_risk
+            return DetectionResult(ua_key, predicted, None, True, risk)
+        return DetectionResult(ua_key, predicted, None, False, None)
+
+
+def _parseable(ua_key: str) -> bool:
+    try:
+        parse_ua_key(ua_key)
+        return True
+    except UserAgentError:
+        return False

@@ -1,0 +1,157 @@
+"""Drift detection (Sections 6.6 and 7.3).
+
+On designated dates — a few days after each Firefox release, with the
+newest Chrome and Edge typically one to two weeks older — the module
+takes the sessions of each *new* browser release, computes:
+
+* the **predominant cluster** the release's fingerprints land in, and
+* the **accuracy**: the share of that release's sessions landing there,
+
+and compares the cluster against the release's *closest prior release*
+in the trained table (paper Table 3).  A changed cluster, or accuracy
+below 98%, signals a behaviour shift and triggers retraining — which in
+the paper's data first happened in late October 2023, when Firefox 119
+moved clusters and Chrome 119 dropped to 97.22%.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.browsers.useragent import Vendor, parse_ua_key
+from repro.core.clustering import ClusterModel
+from repro.traffic.dataset import Dataset
+
+__all__ = ["DriftDetector", "DriftRecord"]
+
+
+@dataclass(frozen=True)
+class DriftRecord:
+    """Drift evaluation of one new browser release (a Table 6 row)."""
+
+    ua_key: str
+    check_date: Optional[date]
+    cluster: int
+    accuracy: float
+    baseline_ua: Optional[str]
+    baseline_cluster: Optional[int]
+    n_sessions: int
+
+    @property
+    def cluster_changed(self) -> bool:
+        """Whether the release left its predecessor's cluster."""
+        return (
+            self.baseline_cluster is not None
+            and self.cluster != self.baseline_cluster
+        )
+
+    def retrain_needed(self, accuracy_threshold: float) -> bool:
+        """The Section 6.6 trigger for this release."""
+        return self.cluster_changed or self.accuracy < accuracy_threshold
+
+
+class DriftDetector:
+    """Evaluates new releases against a trained cluster table."""
+
+    def __init__(self, model: ClusterModel) -> None:
+        if model.kmeans is None:
+            raise ValueError("DriftDetector requires a fitted ClusterModel")
+        self.model = model
+
+    # ------------------------------------------------------------------
+
+    def evaluate_release(
+        self,
+        dataset: Dataset,
+        ua_key: str,
+        check_date: Optional[date] = None,
+    ) -> DriftRecord:
+        """Evaluate one release from its sessions in ``dataset``."""
+        mask = dataset.ua_keys == ua_key
+        count = int(mask.sum())
+        if count == 0:
+            raise ValueError(f"no sessions for {ua_key!r} in the dataset")
+        subset = dataset.subset(mask)
+        clusters = self.model.predict_clusters(subset.matrix())
+        counts = Counter(int(c) for c in clusters)
+        cluster, majority = counts.most_common(1)[0]
+        baseline = self._closest_prior_release(ua_key)
+        return DriftRecord(
+            ua_key=ua_key,
+            check_date=check_date,
+            cluster=cluster,
+            accuracy=majority / count,
+            baseline_ua=baseline,
+            baseline_cluster=(
+                self.model.expected_cluster(baseline) if baseline else None
+            ),
+            n_sessions=count,
+        )
+
+    def evaluate_window(
+        self,
+        dataset: Dataset,
+        check_dates: Optional[Dict[str, date]] = None,
+        min_sessions: int = 50,
+    ) -> List[DriftRecord]:
+        """Evaluate every release in ``dataset`` not in the trained table.
+
+        ``check_dates`` optionally attaches the designated evaluation
+        date per ``ua_key`` (for Table 6 style reporting).  Releases
+        with fewer than ``min_sessions`` sessions are skipped: a couple
+        of straggler sessions cannot support a drift verdict (the paper
+        checks releases only once they carry real traffic).
+        """
+        records = []
+        for ua_key in dataset.distinct_releases():
+            if self.model.expected_cluster(ua_key) is not None:
+                continue  # already part of the trained table
+            if int((dataset.ua_keys == ua_key).sum()) < min_sessions:
+                continue
+            records.append(
+                self.evaluate_release(
+                    dataset, ua_key, (check_dates or {}).get(ua_key)
+                )
+            )
+        return sorted(records, key=_record_order)
+
+    def retrain_needed(
+        self, records: Sequence[DriftRecord], accuracy_threshold: Optional[float] = None
+    ) -> bool:
+        """Whether any record trips the retraining trigger."""
+        threshold = (
+            accuracy_threshold
+            if accuracy_threshold is not None
+            else self.model.config.drift_accuracy_threshold
+        )
+        return any(record.retrain_needed(threshold) for record in records)
+
+    # ------------------------------------------------------------------
+
+    def _closest_prior_release(self, ua_key: str) -> Optional[str]:
+        """Nearest same-vendor release present in the trained table."""
+        parsed = parse_ua_key(ua_key)
+        best: Optional[str] = None
+        best_gap = None
+        for known in self.model.ua_to_cluster:
+            other = parse_ua_key(known)
+            if other.vendor is not parsed.vendor:
+                continue
+            if other.version >= parsed.version:
+                continue
+            gap = parsed.version - other.version
+            if best_gap is None or gap < best_gap:
+                best_gap = gap
+                best = known
+        return best
+
+
+def _record_order(record: DriftRecord):
+    parsed = parse_ua_key(record.ua_key)
+    vendor_rank = {Vendor.CHROME: 0, Vendor.FIREFOX: 1, Vendor.EDGE: 2}
+    return (parsed.version, vendor_rank.get(parsed.vendor, 9))

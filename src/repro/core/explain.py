@@ -1,0 +1,153 @@
+"""Detection explanations: *why* was this session flagged?
+
+A flagged session tells the risk engine "the fingerprint doesn't match
+the claimed browser" — but a fraud analyst triaging the queue wants to
+know *which* parts of the surface diverge and what browser the
+fingerprint actually resembles.  :func:`explain_detection` produces
+that: a feature-level diff against the claimed release's reference
+fingerprint, ranked by standardized divergence, plus the closest
+matching legitimate release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.browsers.useragent import UserAgentError, parse_ua_key
+from repro.core.clustering import ClusterModel
+from repro.fingerprint.features import FeatureSpec
+
+__all__ = ["DetectionExplanation", "FeatureDivergence", "explain_detection"]
+
+
+@dataclass(frozen=True)
+class FeatureDivergence:
+    """One feature's deviation from the claimed release's reference."""
+
+    feature: str
+    observed: int
+    expected: int
+    z_score: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.feature}: observed {self.observed}, "
+            f"expected {self.expected} ({self.z_score:+.1f} sd)"
+        )
+
+
+@dataclass
+class DetectionExplanation:
+    """Analyst-facing explanation of one verdict."""
+
+    claimed_ua: str
+    predicted_cluster: int
+    expected_cluster: Optional[int]
+    divergences: List[FeatureDivergence]
+    closest_release: Optional[str]
+    closest_distance: float
+
+    @property
+    def matches_claim(self) -> bool:
+        """Whether the fingerprint is consistent with the claimed UA."""
+        return (
+            self.expected_cluster is not None
+            and self.predicted_cluster == self.expected_cluster
+        )
+
+    def summary(self, top: int = 3) -> str:
+        """One-paragraph analyst summary."""
+        if self.matches_claim:
+            return f"fingerprint is consistent with {self.claimed_ua}"
+        head = (
+            f"fingerprint contradicts {self.claimed_ua}: "
+            f"landed in cluster {self.predicted_cluster}"
+        )
+        if self.expected_cluster is not None:
+            head += f" (expected {self.expected_cluster})"
+        if self.closest_release:
+            head += f"; surface most resembles {self.closest_release}"
+        leads = "; ".join(str(d) for d in self.divergences[:top])
+        return f"{head}. Top divergences: {leads}" if leads else head
+
+
+def explain_detection(
+    model: ClusterModel,
+    features: Sequence[int],
+    claimed_ua_key: str,
+    top_n: int = 8,
+) -> DetectionExplanation:
+    """Explain one session's verdict against a fitted cluster model.
+
+    ``features`` is the raw 28-value vector; ``claimed_ua_key`` the
+    session's ``vendor-version`` label.
+    """
+    if model.kmeans is None:
+        raise ValueError("explain_detection requires a fitted ClusterModel")
+    vector = np.asarray(features, dtype=float)
+    scaler = model.preprocessor.scaler
+    predicted = model.predict_cluster(vector)
+    expected = model.expected_cluster(claimed_ua_key)
+
+    divergences: List[FeatureDivergence] = []
+    reference = model.reference_vector(claimed_ua_key)
+    if reference is not None:
+        diffs = vector - reference.astype(float)
+        z_scores = diffs / scaler.scale_
+        order = np.argsort(-np.abs(z_scores))
+        for idx in order[:top_n]:
+            if diffs[idx] == 0:
+                continue
+            divergences.append(
+                FeatureDivergence(
+                    feature=model.specs[idx].name,
+                    observed=int(vector[idx]),
+                    expected=int(reference[idx]),
+                    z_score=float(z_scores[idx]),
+                )
+            )
+
+    closest, closest_distance = _closest_release(
+        model, vector, prefer=claimed_ua_key
+    )
+    return DetectionExplanation(
+        claimed_ua=claimed_ua_key,
+        predicted_cluster=predicted,
+        expected_cluster=expected,
+        divergences=divergences,
+        closest_release=closest,
+        closest_distance=closest_distance,
+    )
+
+
+def _closest_release(
+    model: ClusterModel, vector: np.ndarray, prefer: Optional[str] = None
+) -> tuple:
+    """The legitimate release whose reference fingerprint is nearest.
+
+    Same-era releases share identical references; ties break toward
+    ``prefer`` (the claimed user-agent) so a consistent session reports
+    itself rather than an era sibling.
+    """
+    scaler = model.preprocessor.scaler
+    scaled = (vector - scaler.mean_) / scaler.scale_
+    ordered = sorted(model.ua_to_cluster, key=lambda k: (k != prefer, k))
+    best_key: Optional[str] = None
+    best_distance = float("inf")
+    for ua_key in ordered:
+        try:
+            parse_ua_key(ua_key)
+        except UserAgentError:  # pragma: no cover - table only holds keys
+            continue
+        reference = model.reference_vector(ua_key)
+        if reference is None:
+            continue
+        ref_scaled = (reference.astype(float) - scaler.mean_) / scaler.scale_
+        distance = float(np.linalg.norm(scaled - ref_scaled))
+        if distance < best_distance:
+            best_distance = distance
+            best_key = ua_key
+    return best_key, best_distance

@@ -1,0 +1,181 @@
+"""Data pre-processing: from 513 candidates to the final 28 features.
+
+Section 6.3 of the paper combines three filters:
+
+1. **Constant features** — 186 candidates showed a single value across
+   the real-traffic sample (most of the BrowserPrint time-based set had
+   stopped tracking modern browsers) and were dropped.
+2. **Configuration sensitivity** — manual lab analysis showed some
+   features could be zeroed or reshaped wholesale by user settings
+   (disabling Service Workers or WebRTC) or extensions; the *most
+   affected* were excluded.  :func:`config_sensitivity` automates that
+   probe: apply every known benign perturbation (plus Brave's shields)
+   to reference environments and measure each feature's worst-case
+   relative change.
+3. **Discriminative power** — the surviving deviation features are
+   ranked by standard deviation across the traffic and the top 22 kept;
+   time-based features are kept only when both of their values enjoy
+   material support (the six Table 8 features split engine families;
+   the rest differ only on near-extinct ancient releases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.browsers.configs import BENIGN_PERTURBATIONS, Perturbation
+from repro.browsers.derivatives import brave_environment
+from repro.browsers.profiles import BrowserProfile
+from repro.browsers.useragent import Vendor
+from repro.fingerprint.collector import FingerprintCollector
+from repro.fingerprint.features import FeatureSpec
+from repro.jsengine.evolution import (
+    CONFIG_SENSITIVE_INTERFACES,
+    EvolutionModel,
+    default_model,
+)
+
+__all__ = [
+    "FeatureSelectionReport",
+    "config_sensitivity",
+    "select_features",
+]
+
+# Reference releases for the lab sensitivity probe: one modern build per
+# engine family (the paper probed Chrome and Firefox and their
+# derivatives).
+_PROBE_RELEASES: Tuple[Tuple[Vendor, int], ...] = (
+    (Vendor.CHROME, 112),
+    (Vendor.FIREFOX, 112),
+)
+
+_DEFAULT_SENSITIVITY_THRESHOLD = 0.30
+_DEFAULT_MIN_MINORITY_SUPPORT = 0.02
+
+
+@dataclass
+class FeatureSelectionReport:
+    """Full audit trail of the Section 6.3 reduction."""
+
+    selected: List[FeatureSpec]
+    selected_indices: List[int]
+    dropped_constant: List[str] = field(default_factory=list)
+    dropped_config_sensitive: List[str] = field(default_factory=list)
+    dropped_low_deviation: List[str] = field(default_factory=list)
+    dropped_low_support_time: List[str] = field(default_factory=list)
+    deviation_ranking: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def n_selected(self) -> int:
+        """Size of the final feature set (28 in the paper)."""
+        return len(self.selected)
+
+
+def config_sensitivity(
+    specs: Sequence[FeatureSpec],
+    model: Optional[EvolutionModel] = None,
+    perturbations: Sequence[Perturbation] = BENIGN_PERTURBATIONS,
+) -> Dict[str, float]:
+    """Worst-case relative change of each feature under benign configs.
+
+    Returns ``{spec.key(): max relative change}`` across all probe
+    releases and perturbations (including Brave shields).  A value of
+    1.0 means some configuration can zero the feature entirely.
+    """
+    model = model if model is not None else default_model()
+    collector = FingerprintCollector(specs)
+    worst = {spec.key(): 0.0 for spec in specs}
+    for vendor, version in _PROBE_RELEASES:
+        base_env = BrowserProfile(vendor, version).environment(model)
+        base = collector.collect(base_env).astype(float)
+        variants = [
+            perturbation.apply(base_env)
+            for perturbation in perturbations
+            if perturbation.applies_to(base_env.engine, version)
+        ]
+        if vendor is Vendor.CHROME:
+            brave = brave_environment(version)
+            brave.model = model
+            variants.append(brave)
+        for variant_env in variants:
+            variant = collector.collect(variant_env).astype(float)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                relative = np.abs(variant - base) / np.maximum(np.abs(base), 1.0)
+            for spec, change in zip(specs, relative):
+                if change > worst[spec.key()]:
+                    worst[spec.key()] = float(change)
+    return worst
+
+
+def select_features(
+    matrix: np.ndarray,
+    specs: Sequence[FeatureSpec],
+    n_deviation: int = 22,
+    sensitivity_threshold: float = _DEFAULT_SENSITIVITY_THRESHOLD,
+    min_minority_support: float = _DEFAULT_MIN_MINORITY_SUPPORT,
+    model: Optional[EvolutionModel] = None,
+    manually_excluded: Sequence[str] = CONFIG_SENSITIVE_INTERFACES,
+) -> FeatureSelectionReport:
+    """Run the full Section 6.3 reduction on candidate-space traffic.
+
+    ``matrix`` holds the collected candidate features (columns aligned
+    with ``specs``); the result lists the selected specs in canonical
+    order (deviation features by decreasing traffic deviation, then the
+    surviving time-based features).
+
+    ``manually_excluded`` reproduces the paper's manual review: features
+    the lab probe cannot prove unstable but that manual analysis tied to
+    extensions, devices, or user settings (``Navigator`` reshaped by
+    plugins, speech/gamepad APIs gated on hardware, and so on).
+    """
+    data = np.asarray(matrix, dtype=float)
+    if data.ndim != 2 or data.shape[1] != len(specs):
+        raise ValueError("matrix columns must align with specs")
+
+    excluded_set = set(manually_excluded)
+    report = FeatureSelectionReport(selected=[], selected_indices=[])
+    stds = data.std(axis=0)
+    sensitivity = config_sensitivity(specs, model=model)
+
+    deviation_candidates: List[Tuple[int, FeatureSpec, float]] = []
+    for idx, spec in enumerate(specs):
+        column = data[:, idx]
+        if stds[idx] == 0.0:
+            report.dropped_constant.append(spec.key())
+            continue
+        if spec.kind == "time":
+            minority = min(float((column > 0).mean()), float((column <= 0).mean()))
+            if minority < min_minority_support:
+                report.dropped_low_support_time.append(spec.key())
+            else:
+                report.selected.append(spec)
+                report.selected_indices.append(idx)
+            continue
+        if (
+            sensitivity.get(spec.key(), 0.0) > sensitivity_threshold
+            or spec.interface in excluded_set
+        ):
+            report.dropped_config_sensitive.append(spec.key())
+            continue
+        deviation_candidates.append((idx, spec, float(stds[idx])))
+
+    deviation_candidates.sort(key=lambda item: -item[2])
+    report.deviation_ranking = [
+        (spec.interface, std) for _, spec, std in deviation_candidates
+    ]
+    kept = deviation_candidates[:n_deviation]
+    for idx, spec, _ in deviation_candidates[n_deviation:]:
+        report.dropped_low_deviation.append(spec.key())
+
+    # Canonical order: deviation features first (by rank), then time.
+    time_selected = list(
+        zip(report.selected_indices, report.selected)
+    )
+    report.selected = [spec for _, spec, _ in kept] + [s for _, s in time_selected]
+    report.selected_indices = [idx for idx, _, _ in kept] + [
+        i for i, _ in time_selected
+    ]
+    return report

@@ -1,0 +1,163 @@
+"""The Browser Polygraph facade.
+
+One object tying the whole system together the way the FinOrg
+deployment runs it:
+
+>>> polygraph = BrowserPolygraph()
+>>> polygraph.fit(training_dataset)          # offline (Section 6.4)
+>>> report = polygraph.detect(live_dataset)  # online (Section 6.5)
+>>> records = polygraph.drift_report(new)    # scheduled (Section 6.6)
+>>> if polygraph.retrain_needed(records):
+...     polygraph.retrain(extended_dataset)
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.clustering import ClusterModel
+from repro.core.config import PipelineConfig
+from repro.core.detection import DetectionReport, DetectionResult, FraudDetector
+from repro.core.drift import DriftDetector, DriftRecord
+from repro.core.model_store import load_model, save_model
+from repro.fingerprint.features import FEATURE_SPECS, FeatureSpec
+from repro.fingerprint.script import FingerprintPayload
+from repro.traffic.dataset import Dataset
+
+__all__ = ["BrowserPolygraph"]
+
+
+class BrowserPolygraph:
+    """End-to-end coarse-grained fraud detection pipeline."""
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        specs: Sequence[FeatureSpec] = FEATURE_SPECS,
+    ) -> None:
+        self.config = config
+        self.specs = tuple(specs)
+        self.cluster_model: Optional[ClusterModel] = None
+        self._detector: Optional[FraudDetector] = None
+
+    # ------------------------------------------------------------------
+    # training
+
+    def fit(self, dataset: Dataset, align_rare: bool = True) -> "BrowserPolygraph":
+        """Train the clustering model on a FinOrg-shaped dataset."""
+        if dataset.n_features != len(self.specs):
+            raise ValueError(
+                f"dataset has {dataset.n_features} features, "
+                f"pipeline expects {len(self.specs)}"
+            )
+        model = ClusterModel(self.config, specs=self.specs)
+        model.fit(dataset.matrix(), list(dataset.ua_keys), align_rare=align_rare)
+        self.cluster_model = model
+        self._detector = FraudDetector(model)
+        return self
+
+    def retrain(self, dataset: Dataset, align_rare: bool = True) -> "BrowserPolygraph":
+        """Retrain from scratch on an extended window (drift response)."""
+        return self.fit(dataset, align_rare=align_rare)
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self.cluster_model is not None
+
+    @property
+    def accuracy(self) -> float:
+        """Majority-cluster training accuracy (paper: 99.6%)."""
+        self._require_fitted()
+        return float(self.cluster_model.accuracy_)
+
+    @property
+    def cluster_table(self) -> Dict[int, List[str]]:
+        """The cluster-to-user-agent table (paper Table 3)."""
+        self._require_fitted()
+        return {k: list(v) for k, v in self.cluster_model.cluster_table.items()}
+
+    # ------------------------------------------------------------------
+    # online detection
+
+    def detect(self, dataset: Dataset) -> DetectionReport:
+        """Evaluate a batch of sessions."""
+        self._require_fitted()
+        return self._detector.evaluate_dataset(dataset)
+
+    def detect_session(
+        self, features: Union[np.ndarray, Sequence[int]], user_agent: str
+    ) -> DetectionResult:
+        """Evaluate a single session (the real-time path)."""
+        self._require_fitted()
+        return self._detector.evaluate_vector(np.asarray(features), user_agent)
+
+    def detect_payload(self, payload: FingerprintPayload) -> DetectionResult:
+        """Evaluate a wire payload produced by the collection script.
+
+        With ``enable_namespace_probe`` set, a payload carrying
+        fraud-browser namespace artifacts is escalated to the maximum
+        risk factor even when its coarse-grained fingerprint matches the
+        claimed user-agent — catching sloppy wrapper builds (AntBrowser)
+        whose engine coincidentally matches the spoofed release.
+        """
+        result = self.detect_session(payload.vector(), payload.user_agent)
+        if (
+            self.config.enable_namespace_probe
+            and payload.suspicious_globals
+        ):
+            return DetectionResult(
+                ua_key=result.ua_key,
+                predicted_cluster=result.predicted_cluster,
+                expected_cluster=result.expected_cluster,
+                flagged=True,
+                risk_factor=self.config.vendor_mismatch_risk,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # drift
+
+    def drift_report(
+        self,
+        dataset: Dataset,
+        check_dates: Optional[Dict[str, date]] = None,
+        min_sessions: int = 50,
+    ) -> List[DriftRecord]:
+        """Evaluate the new releases present in ``dataset`` (Table 6)."""
+        self._require_fitted()
+        return DriftDetector(self.cluster_model).evaluate_window(
+            dataset, check_dates, min_sessions=min_sessions
+        )
+
+    def retrain_needed(self, records: Sequence[DriftRecord]) -> bool:
+        """Whether the drift records trip the Section 6.6 trigger."""
+        self._require_fitted()
+        return DriftDetector(self.cluster_model).retrain_needed(records)
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the trained model to JSON."""
+        self._require_fitted()
+        save_model(self.cluster_model, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BrowserPolygraph":
+        """Restore a pipeline saved with :meth:`save`."""
+        model = load_model(path)
+        pipeline = cls(config=model.config, specs=model.specs)
+        pipeline.cluster_model = model
+        pipeline._detector = FraudDetector(model)
+        return pipeline
+
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.cluster_model is None:
+            raise RuntimeError("BrowserPolygraph is not fitted; call fit() first")

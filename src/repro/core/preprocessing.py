@@ -1,0 +1,70 @@
+"""Pre-processing: scaling and outlier removal (Section 6.4.1).
+
+The deviation-based columns span very different ranges, so they are
+z-scored (the binary time-based columns pass through).  An Isolation
+Forest trained on the scaled matrix then removes the most isolated rows
+at the paper's 0.002% contamination level — in the deployment this
+dropped 172 rows, none of which matched any legitimate lab browser.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.ml.isolation_forest import IsolationForest
+from repro.ml.scaler import StandardScaler
+
+__all__ = ["Preprocessor"]
+
+
+class Preprocessor:
+    """Scale features and identify training outliers."""
+
+    def __init__(self, config: PipelineConfig = PipelineConfig()) -> None:
+        self.config = config
+        self.scaler: Optional[StandardScaler] = None
+        self.outlier_model: Optional[IsolationForest] = None
+        self.n_outliers_: Optional[int] = None
+
+    def fit(self, matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fit on a raw feature matrix.
+
+        Returns ``(scaled, inlier_mask)``: the scaled matrix and a
+        boolean mask of the rows kept for model training.
+        """
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+        scale_columns = self._valid_scale_columns(data.shape[1])
+        self.scaler = StandardScaler(columns=scale_columns)
+        scaled = self.scaler.fit_transform(data)
+
+        self.outlier_model = IsolationForest(
+            n_estimators=self.config.outlier_trees,
+            contamination=self.config.outlier_contamination,
+            random_state=self.config.random_state,
+        )
+        self.outlier_model.fit(scaled)
+        # Use the fit-time mask: it caps the removed rows at exactly the
+        # contamination budget even when duplicate fingerprints tie.
+        mask = self.outlier_model.fit_inlier_mask_
+        self.n_outliers_ = int((~mask).sum())
+        return scaled, mask
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Scale new data with the fitted scaler."""
+        if self.scaler is None:
+            raise RuntimeError("Preprocessor is not fitted; call fit() first")
+        return self.scaler.transform(np.asarray(matrix, dtype=float))
+
+    def _valid_scale_columns(self, n_features: int) -> Optional[List[int]]:
+        columns = self.config.scale_columns
+        if columns is None:
+            return None
+        valid = [c for c in columns if 0 <= c < n_features]
+        # Sensitivity sweeps change the feature count; silently clamping
+        # to valid columns keeps the deviation/time split intact.
+        return valid or None

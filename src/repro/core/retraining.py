@@ -1,0 +1,224 @@
+"""Automated retraining orchestration (closing the Section 6.6 loop).
+
+The paper's drift detector *signals* retraining; someone still has to
+do it: assemble the new training window, refit, verify the refreshed
+model actually absorbs the drifted releases, and keep the previous
+model around in case the new one regresses.  :class:`RetrainingOrchestrator`
+automates that operational loop:
+
+* maintains a sliding training window (the paper trained on 4.5 months);
+* on each scheduled check, evaluates drift and — when triggered —
+  retrains on the extended window;
+* verifies the candidate model before promotion: training accuracy must
+  stay above a floor and the drifted releases must now sit in the
+  cluster table;
+* archives every promoted model with metadata (a one-file model
+  registry), so a bad promotion can be rolled back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import date
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.pipeline import BrowserPolygraph
+from repro.traffic.dataset import Dataset
+
+__all__ = ["ModelRegistry", "RetrainingOrchestrator", "RetrainingOutcome"]
+
+
+@dataclass(frozen=True)
+class RetrainingOutcome:
+    """What one scheduled check did."""
+
+    check_date: date
+    drift_detected: bool
+    retrained: bool
+    promoted: bool
+    accuracy: Optional[float]
+    detail: str
+
+
+class ModelRegistry:
+    """Versioned storage of promoted models.
+
+    Each promotion writes ``model-v<N>.json`` plus an entry in
+    ``registry.json`` recording when and why.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / "registry.json"
+
+    def _index(self) -> List[dict]:
+        if not self._index_path.exists():
+            return []
+        return json.loads(self._index_path.read_text())
+
+    def versions(self) -> List[dict]:
+        """Promotion history, oldest first."""
+        return self._index()
+
+    @property
+    def latest_version(self) -> int:
+        """Highest promoted version number (0 when empty)."""
+        index = self._index()
+        return index[-1]["version"] if index else 0
+
+    def promote(
+        self, polygraph: BrowserPolygraph, check_date: date, reason: str
+    ) -> int:
+        """Store a model as the next version; returns its number."""
+        version = self.latest_version + 1
+        model_path = self.root / f"model-v{version:03d}.json"
+        polygraph.save(model_path)
+        index = self._index()
+        index.append(
+            {
+                "version": version,
+                "path": model_path.name,
+                "promoted_on": check_date.isoformat(),
+                "accuracy": polygraph.accuracy,
+                "reason": reason,
+            }
+        )
+        self._index_path.write_text(json.dumps(index, indent=2))
+        return version
+
+    def load(self, version: Optional[int] = None) -> BrowserPolygraph:
+        """Load a promoted model (latest by default)."""
+        index = self._index()
+        if not index:
+            raise LookupError("the registry is empty")
+        if version is None:
+            entry = index[-1]
+        else:
+            matches = [e for e in index if e["version"] == version]
+            if not matches:
+                raise LookupError(f"no model version {version}")
+            entry = matches[0]
+        return BrowserPolygraph.load(self.root / entry["path"])
+
+
+class RetrainingOrchestrator:
+    """Drift-triggered retraining with verified promotion."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        accuracy_floor: float = 0.985,
+        max_window_sessions: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < accuracy_floor < 1.0:
+            raise ValueError("accuracy_floor must lie in (0, 1)")
+        self.registry = registry
+        self.accuracy_floor = accuracy_floor
+        self.max_window_sessions = max_window_sessions
+        self.window: Optional[Dataset] = None
+        self.current: Optional[BrowserPolygraph] = None
+        self.history: List[RetrainingOutcome] = []
+
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, training: Dataset, on: date) -> BrowserPolygraph:
+        """Initial training and promotion (version 1)."""
+        self.window = training
+        polygraph = BrowserPolygraph().fit(training)
+        if polygraph.accuracy < self.accuracy_floor:
+            raise RuntimeError(
+                f"bootstrap accuracy {polygraph.accuracy:.4f} below the "
+                f"{self.accuracy_floor:.4f} floor"
+            )
+        self.registry.promote(polygraph, on, "bootstrap")
+        self.current = polygraph
+        return polygraph
+
+    def scheduled_check(self, live: Dataset, on: date) -> RetrainingOutcome:
+        """One Section 6.6 check: evaluate drift, retrain if triggered."""
+        if self.current is None or self.window is None:
+            raise RuntimeError("orchestrator not bootstrapped")
+
+        records = self.current.drift_report(live)
+        drifted = [
+            r.ua_key
+            for r in records
+            if r.retrain_needed(self.current.config.drift_accuracy_threshold)
+        ]
+        if not drifted:
+            outcome = RetrainingOutcome(
+                check_date=on,
+                drift_detected=False,
+                retrained=False,
+                promoted=False,
+                accuracy=self.current.accuracy,
+                detail="no drift; model unchanged",
+            )
+            self.history.append(outcome)
+            return outcome
+
+        extended = self._extend_window(live)
+        candidate = BrowserPolygraph().fit(extended)
+        promoted, detail = self._verify_candidate(candidate, live, drifted)
+        if promoted:
+            self.registry.promote(
+                candidate, on, f"drift in {', '.join(sorted(drifted))}"
+            )
+            self.current = candidate
+            self.window = extended
+        outcome = RetrainingOutcome(
+            check_date=on,
+            drift_detected=True,
+            retrained=True,
+            promoted=promoted,
+            accuracy=candidate.accuracy,
+            detail=detail,
+        )
+        self.history.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _extend_window(self, live: Dataset) -> Dataset:
+        extended = Dataset.concatenate([self.window, live])
+        if (
+            self.max_window_sessions is not None
+            and len(extended) > self.max_window_sessions
+        ):
+            # Slide the window: keep the newest sessions.
+            import numpy as np
+
+            keep = np.arange(
+                len(extended) - self.max_window_sessions, len(extended)
+            )
+            extended = extended.subset(keep)
+        return extended
+
+    def _verify_candidate(
+        self,
+        candidate: BrowserPolygraph,
+        live: Dataset,
+        drifted: List[str],
+    ) -> tuple:
+        if candidate.accuracy < self.accuracy_floor:
+            return False, (
+                f"candidate accuracy {candidate.accuracy:.4f} below floor; "
+                "keeping the previous model"
+            )
+        missing = [
+            key
+            for key in drifted
+            if candidate.cluster_model.expected_cluster(key) is None
+        ]
+        if missing:
+            return False, (
+                f"candidate did not absorb {', '.join(missing)}; "
+                "keeping the previous model"
+            )
+        still_drifting = candidate.drift_report(live)
+        if candidate.retrain_needed(still_drifting):
+            return False, "candidate still reports drift; keeping previous model"
+        return True, f"promoted after absorbing {', '.join(sorted(drifted))}"

@@ -1,0 +1,80 @@
+"""Algorithm 1: the risk factor.
+
+Given a session's claimed user-agent and the user-agents belonging to
+the cluster its *fingerprint* landed in, the risk factor is the minimum
+distance between the claimed user-agent and any user-agent of the
+predicted cluster:
+
+* different vendors → distance 20 (the maximum);
+* same vendor → ``floor(|version difference| / 4)`` (the divisor 4 was
+  chosen empirically from the version spans in paper Table 3).
+
+A small risk factor therefore means "the fingerprint looks like a
+nearby release of the same vendor" — usually benign update skew — while
+a large one means the fingerprint belongs to a different vendor or a
+far-away release.
+
+The paper's pseudocode initializes the risk factor to infinity; for an
+empty predicted cluster (one of the clusters of Table 3 that holds no
+majority user-agent) we return the vendor-mismatch maximum instead,
+since "matches no known browser at all" is at least as suspicious as a
+vendor mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.browsers.useragent import ParsedUserAgent, parse_ua_key, parse_user_agent
+
+__all__ = ["risk_factor", "user_agent_distance"]
+
+UserAgentLike = Union[str, ParsedUserAgent]
+
+
+def _coerce(value: UserAgentLike) -> ParsedUserAgent:
+    if isinstance(value, ParsedUserAgent):
+        return value
+    text = str(value)
+    # Accept both full user-agent strings and short "vendor-version" keys.
+    if text.startswith("Mozilla/"):
+        return parse_user_agent(text)
+    return parse_ua_key(text)
+
+
+def user_agent_distance(
+    session_ua: UserAgentLike,
+    other_ua: UserAgentLike,
+    vendor_mismatch: int = 20,
+    version_divisor: int = 4,
+) -> int:
+    """Distance between two user-agents (Algorithm 1's inner step)."""
+    session = _coerce(session_ua)
+    other = _coerce(other_ua)
+    if session.vendor is not other.vendor:
+        return int(vendor_mismatch)
+    return abs(session.version - other.version) // int(version_divisor)
+
+
+def risk_factor(
+    session_ua: UserAgentLike,
+    cluster_user_agents: Iterable[UserAgentLike],
+    vendor_mismatch: int = 20,
+    version_divisor: int = 4,
+) -> int:
+    """Risk factor of a session (Algorithm 1).
+
+    ``cluster_user_agents`` are the user-agents assigned to the
+    session's *predicted* cluster.  An empty collection yields the
+    vendor-mismatch maximum (see module docstring).
+    """
+    best = None
+    for other in cluster_user_agents:
+        distance = user_agent_distance(
+            session_ua, other, vendor_mismatch, version_divisor
+        )
+        if best is None or distance < best:
+            best = distance
+            if best == 0:
+                break
+    return int(vendor_mismatch) if best is None else int(best)

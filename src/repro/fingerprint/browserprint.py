@@ -1,0 +1,29 @@
+"""Time-based (BrowserPrint-style) candidate features.
+
+Akhavani et al.'s BrowserPrint identifies browsers by the presence or
+absence of specific JavaScript properties; the paper imports 313 such
+features into its candidate set and finds that only six of them still
+track browsers released after 2020 (Table 8 rows 23-28).
+
+The catalog itself lives in the evolution model (the properties must
+exist — or not — on simulated prototypes); this module exposes it as
+:class:`FeatureSpec` objects for the collection machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fingerprint.features import FeatureSpec
+from repro.jsengine.evolution import EvolutionModel, default_model
+
+__all__ = ["time_based_features"]
+
+
+def time_based_features(model: Optional[EvolutionModel] = None) -> List[FeatureSpec]:
+    """All 313 BrowserPrint-style existence features as specs."""
+    model = model if model is not None else default_model()
+    return [
+        FeatureSpec("time", named.interface, named.prop)
+        for named in model.time_properties
+    ]

@@ -1,0 +1,174 @@
+"""Stolen-profile marketplace simulation.
+
+The paper's threat model starts at places like the Genesis Market:
+phishing kits and infostealers harvest victim browser profiles
+(cookies, user-agent, fingerprint data), marketplaces sell them in
+bulk, and buyers load them into anti-detect browsers to commit account
+takeover.  This module models that supply chain so attack campaigns can
+be generated end to end:
+
+* :class:`StolenProfile` — one listing: the victim's user-agent frozen
+  at harvest time, aging on the shelf;
+* :class:`Marketplace` — harvests listings from a traffic window and
+  sells them (oldest stock first, like real bulk listings);
+* :class:`AttackCampaign` — a buyer: picks a fraud browser, buys
+  profiles, and emits the attack sessions Browser Polygraph will face.
+
+The staleness this produces — victims' browsers lag live traffic by the
+shelf time — is exactly why fraud-browser sessions claim older
+user-agents than the population at large, one of the signals behind
+the paper's Table 4 enrichment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+from typing import List, Optional
+
+import numpy as np
+
+from repro.browsers.useragent import ParsedUserAgent, parse_ua_key
+from repro.fingerprint.collector import FingerprintCollector
+from repro.fingerprint.features import FEATURE_SPECS
+from repro.fingerprint.script import FingerprintPayload
+from repro.fraudbrowsers.base import FraudBrowser, FraudProfile
+from repro.traffic.dataset import Dataset
+
+__all__ = ["AttackCampaign", "AttackSession", "Marketplace", "StolenProfile"]
+
+
+@dataclass(frozen=True)
+class StolenProfile:
+    """One marketplace listing: a victim's harvested browser state."""
+
+    victim_session_id: str
+    user_agent: ParsedUserAgent
+    harvested_on: date
+    price_usd: float
+
+    def age_days(self, today: date) -> int:
+        """Shelf age of the listing."""
+        return max(0, (today - self.harvested_on).days)
+
+
+@dataclass
+class Marketplace:
+    """A Genesis-style bulk marketplace for stolen browser profiles."""
+
+    seed: int = 0
+    inventory: List[StolenProfile] = field(default_factory=list)
+    sold_count: int = 0
+
+    def harvest_from_traffic(
+        self,
+        dataset: Dataset,
+        infection_rate: float = 0.01,
+    ) -> int:
+        """Infostealers skim a fraction of a traffic window.
+
+        Returns the number of listings added.  Pricing follows the
+        underground norm: fresher profiles with mainstream browsers
+        fetch more.
+        """
+        if not 0.0 < infection_rate <= 1.0:
+            raise ValueError("infection_rate must lie in (0, 1]")
+        rng = np.random.default_rng(self.seed)
+        n_victims = max(1, int(round(infection_rate * len(dataset))))
+        picks = rng.choice(len(dataset), size=n_victims, replace=False)
+        added = 0
+        for idx in sorted(int(i) for i in picks):
+            parsed = parse_ua_key(str(dataset.ua_keys[idx]))
+            harvested = dataset.days[idx].astype("datetime64[D]").astype(object)
+            price = 12.0 + float(rng.uniform(0, 25))
+            self.inventory.append(
+                StolenProfile(
+                    victim_session_id=str(dataset.session_ids[idx]),
+                    user_agent=parsed,
+                    harvested_on=harvested,
+                    price_usd=round(price, 2),
+                )
+            )
+            added += 1
+        self.inventory.sort(key=lambda p: p.harvested_on)
+        return added
+
+    def buy(self, count: int) -> List[StolenProfile]:
+        """Sell ``count`` listings, oldest stock first (bulk discount)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        sold = self.inventory[:count]
+        self.inventory = self.inventory[count:]
+        self.sold_count += len(sold)
+        return sold
+
+    @property
+    def stock(self) -> int:
+        """Listings currently for sale."""
+        return len(self.inventory)
+
+    def average_age_days(self, today: date) -> float:
+        """Mean shelf age of the current stock."""
+        if not self.inventory:
+            return 0.0
+        return float(
+            np.mean([p.age_days(today) for p in self.inventory])
+        )
+
+
+@dataclass(frozen=True)
+class AttackSession:
+    """One ATO attempt: the payload the defender's endpoint receives."""
+
+    payload: FingerprintPayload
+    victim: StolenProfile
+    browser: str
+
+
+class AttackCampaign:
+    """A fraudster: one fraud browser, a batch of bought profiles."""
+
+    def __init__(
+        self,
+        browser: FraudBrowser,
+        marketplace: Marketplace,
+        seed: int = 0,
+    ) -> None:
+        self.browser = browser
+        self.marketplace = marketplace
+        self.seed = seed
+        self._collector = FingerprintCollector(FEATURE_SPECS)
+
+    def run(self, n_attacks: int, today: Optional[date] = None) -> List[AttackSession]:
+        """Buy profiles and generate the attack sessions.
+
+        Each bought profile becomes one login attempt: the fraud browser
+        loads the victim's user-agent while exposing its own engine
+        surface (per its Section 2.3 category).
+        """
+        if n_attacks < 1:
+            raise ValueError("n_attacks must be >= 1")
+        purchases = self.marketplace.buy(min(n_attacks, self.marketplace.stock))
+        sessions: List[AttackSession] = []
+        for index, stolen in enumerate(purchases):
+            profile = FraudProfile(
+                self.browser.full_name,
+                stolen.user_agent,
+                profile_seed=self.seed * 10_000 + index,
+            )
+            environment = self.browser.environment(profile)
+            values = self._collector.collect(environment)
+            from repro.fraudbrowsers.namespace_probe import scan_environment
+
+            hits = scan_environment(environment)
+            payload = FingerprintPayload(
+                session_id=f"ato-{self.seed:02d}-{index:05d}",
+                user_agent=stolen.user_agent.raw,
+                values=tuple(int(v) for v in values),
+                service_time_ms=0.0,
+                suspicious_globals=tuple(h.global_name for h in hits),
+            )
+            sessions.append(
+                AttackSession(payload, stolen, self.browser.full_name)
+            )
+        return sessions

@@ -1,0 +1,79 @@
+"""Namespace probe: hunting vendor artifacts on ``window``.
+
+Section 8 of the paper observes that AntBrowser "includes an
+``ANTBROWSER`` object in its namespace and ``antBrowser``-prefixed
+attributes on the ``window`` object, significantly increasing its
+fingerprintability", and suggests automating such software-specific
+detection as future work.  This module implements that extension:
+
+* :data:`KNOWN_MARKER_PATTERNS` — regexes for vendor artifacts observed
+  in fraud-browser builds;
+* :func:`scan_environment` — run the probe against a
+  :class:`~repro.jsengine.environment.JSEnvironment`;
+* a generic heuristic for *unknown* products: any non-standard global
+  matching suspicious naming conventions (double-underscore wrappers,
+  "profile"/"spoof" stems) is reported too.
+
+The probe is an independent, deterministic signal: the detector can use
+it to escalate a session to maximum risk regardless of the clustering
+verdict (``PipelineConfig.enable_namespace_probe``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.jsengine.environment import JSEnvironment
+
+__all__ = ["KNOWN_MARKER_PATTERNS", "MarkerHit", "scan_environment", "scan_globals"]
+
+# Vendor-specific artifacts catalogued from fraud-browser builds.
+KNOWN_MARKER_PATTERNS: Tuple[Tuple[str, str], ...] = (
+    ("AntBrowser", r"(?i)^antbrowser"),
+    ("Linken Sphere", r"(?i)(^__ls_|lsphere)"),
+    ("ClonBrowser", r"(?i)clonbrowser"),
+)
+
+# Generic smell: wrapper frameworks stash state in dunder-style globals
+# or telltale "profile"/"spoof" stems that no genuine browser exposes.
+_GENERIC_PATTERN = re.compile(r"(?i)^__\w+__$|spoof|antidetect")
+
+_STANDARD_GLOBALS = frozenset(
+    (
+        "window", "self", "document", "location", "navigator", "history",
+        "screen", "localStorage", "sessionStorage", "fetch", "setTimeout",
+        "setInterval", "requestAnimationFrame",
+    )
+)
+
+
+@dataclass(frozen=True)
+class MarkerHit:
+    """One suspicious global found by the probe."""
+
+    global_name: str
+    product: str  # matched product, or "unknown-wrapper"
+
+
+def scan_globals(names) -> List[MarkerHit]:
+    """Scan a list of ``window`` globals for fraud-browser artifacts."""
+    hits: List[MarkerHit] = []
+    for name in names:
+        if name in _STANDARD_GLOBALS:
+            continue
+        matched = False
+        for product, pattern in KNOWN_MARKER_PATTERNS:
+            if re.search(pattern, name):
+                hits.append(MarkerHit(name, product))
+                matched = True
+                break
+        if not matched and _GENERIC_PATTERN.search(name):
+            hits.append(MarkerHit(name, "unknown-wrapper"))
+    return hits
+
+
+def scan_environment(environment: JSEnvironment) -> List[MarkerHit]:
+    """Run the probe against a session's JavaScript environment."""
+    return scan_globals(environment.window_global_names())

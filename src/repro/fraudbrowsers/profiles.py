@@ -1,0 +1,117 @@
+"""Profile construction for the fraud-browser experiment (Section 7.2).
+
+The paper installs each Category-1/2 product on a Windows machine and
+creates multiple profiles per product, "employing various user-agents
+representative of all clusters in Table 3 ... Where feasible, for each
+cluster we generated two profiles using candidate user-agents from the
+same cluster.  In cases where a fraud browser limited this capability,
+we opted for either randomized user-agents or those uniquely provided by
+the browser itself."
+
+:func:`build_experiment_profiles` reproduces that procedure against a
+trained cluster table.  Per-product plans encode each product's
+customization limits (Sphere's free build only offers canned old-Chrome
+profiles, which is why its recall is lowest in Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.browsers.useragent import parse_ua_key
+from repro.fraudbrowsers.base import FraudBrowser, FraudProfile, hash_seed
+
+__all__ = ["ProfilePlan", "build_experiment_profiles"]
+
+
+@dataclass(frozen=True)
+class ProfilePlan:
+    """How many profiles a product's editor allows per cluster."""
+
+    per_cluster: int = 1
+    extra_random: int = 0
+    canned_ua_keys: tuple = ()
+
+
+# Plans sized to match the Table 5 experiment (16 / 9 / 19 / 9 profiles
+# for GoLogin, Incogniton, Octo Browser and Sphere respectively, given
+# the nine user-agent-bearing clusters of Table 3).
+_PLANS: Dict[str, ProfilePlan] = {
+    "GoLogin": ProfilePlan(per_cluster=2),
+    "Incogniton": ProfilePlan(per_cluster=1),
+    "Octo Browser": ProfilePlan(per_cluster=2, extra_random=1),
+    "Sphere": ProfilePlan(
+        per_cluster=0,
+        canned_ua_keys=(
+            "chrome-63",
+            "chrome-64",
+            "chrome-65",
+            "firefox-60",
+            "chrome-70",
+            "chrome-90",
+            "chrome-100",
+            "chrome-110",
+            "chrome-113",
+        ),
+    ),
+}
+_DEFAULT_PLAN = ProfilePlan(per_cluster=1)
+
+# GoLogin's editor, per the paper, offers a wide range of OS/browser
+# choices but caps the experiment at two profiles for eight clusters.
+_GOLOGIN_CLUSTER_CAP = 8
+
+
+def build_experiment_profiles(
+    browser: FraudBrowser,
+    cluster_table: Mapping[int, Sequence[str]],
+) -> List[FraudProfile]:
+    """Profiles the Section 7.2 operator would create for ``browser``.
+
+    ``cluster_table`` maps cluster ids to the ``vendor-version`` keys of
+    the user-agents assigned to them (paper Table 3).
+    """
+    plan = _PLANS.get(browser.name, _DEFAULT_PLAN)
+    profiles: List[FraudProfile] = []
+    seed_base = hash_seed(browser.full_name)
+
+    if plan.canned_ua_keys:
+        for index, key in enumerate(plan.canned_ua_keys):
+            profiles.append(
+                FraudProfile(browser.full_name, parse_ua_key(key), seed_base + index)
+            )
+        return profiles
+
+    populated = sorted(
+        cluster for cluster, uas in cluster_table.items() if len(uas) > 0
+    )
+    if browser.name == "GoLogin":
+        populated = populated[:_GOLOGIN_CLUSTER_CAP]
+
+    index = 0
+    for cluster in populated:
+        uas = sorted(cluster_table[cluster])
+        # Spread picks across the cluster: first and last user-agent keys
+        # give version diversity inside the cluster.
+        picks = [uas[0]]
+        if plan.per_cluster > 1 and len(uas) > 1:
+            picks.append(uas[-1])
+        for key in picks[: plan.per_cluster]:
+            profiles.append(
+                FraudProfile(browser.full_name, parse_ua_key(key), seed_base + index)
+            )
+            index += 1
+
+    for extra in range(plan.extra_random):
+        # "Randomized user-agents": rotate deterministically through the
+        # table so the experiment stays reproducible.
+        flat = sorted(key for uas in cluster_table.values() for key in uas)
+        if not flat:
+            break
+        key = flat[(seed_base + extra) % len(flat)]
+        profiles.append(
+            FraudProfile(browser.full_name, parse_ua_key(key), seed_base + 1000 + extra)
+        )
+        index += 1
+    return profiles

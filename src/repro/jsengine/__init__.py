@@ -1,0 +1,43 @@
+"""Simulated JavaScript API surface.
+
+The paper measures ``Object.getOwnPropertyNames(X.prototype).length`` on
+real browsers.  Real browsers are not available in this environment, so
+this subpackage provides a deterministic stand-in: a catalog of Web API
+interfaces (:mod:`repro.jsengine.catalog`), a per-vendor evolution model
+describing how each interface's own-property set grows across engine
+eras (:mod:`repro.jsengine.evolution`), and a :class:`JSEnvironment`
+(:mod:`repro.jsengine.environment`) that exposes the two JavaScript
+reflection primitives the paper's collection script uses:
+
+* ``get_own_property_names(interface)`` — the own-property names of a
+  prototype (their count is a *deviation-based* feature);
+* ``prototype_has_own(interface, prop)`` — property existence (a
+  *time-based* feature in the BrowserPrint sense).
+
+The substitution preserves what the paper's features depend on: values
+are pure functions of (engine, version, configuration), identical inside
+an engine era, with vendor-specific jumps at era boundaries and
+configuration/extension perturbations layered on top.
+"""
+
+from repro.jsengine.catalog import (
+    ALL_INTERFACES,
+    CATALOG_SIZE,
+    STABLE_INTERFACES,
+    VOLATILE_INTERFACES,
+    extended_interfaces,
+)
+from repro.jsengine.environment import JSEnvironment
+from repro.jsengine.evolution import Engine, EvolutionModel, default_model
+
+__all__ = [
+    "ALL_INTERFACES",
+    "CATALOG_SIZE",
+    "Engine",
+    "EvolutionModel",
+    "JSEnvironment",
+    "STABLE_INTERFACES",
+    "VOLATILE_INTERFACES",
+    "default_model",
+    "extended_interfaces",
+]

@@ -1,0 +1,141 @@
+"""Simulated JavaScript global environment.
+
+A :class:`JSEnvironment` is what the paper's collection script runs
+against: a set of prototype objects whose own-property names can be
+enumerated and probed.  Environments are built from an engine/version
+pair via :class:`repro.jsengine.evolution.EvolutionModel` and may carry
+*overrides* — the mechanism used by browser configurations, extensions,
+derivative browsers (Brave, Tor) and fraud browsers to distort the
+surface.
+
+Overrides come in two forms, applied in order:
+
+* ``count_adjustments`` — ``{interface: delta}`` integer shifts of the
+  structural property count (an extension injecting two properties into
+  ``Element`` is ``{"Element": +2}``);
+* ``zeroed_interfaces`` — interfaces removed outright (disabling Service
+  Workers zeroes the whole ``ServiceWorker`` family).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.jsengine.evolution import Engine, EvolutionModel, default_model
+
+__all__ = ["JSEnvironment"]
+
+
+class JSEnvironment:
+    """The reflection surface a browser session exposes to the script.
+
+    Parameters
+    ----------
+    engine, version:
+        Engine family and release number the surface derives from.
+    model:
+        Evolution model to consult; defaults to the shared instance.
+    count_adjustments:
+        Structural-count deltas per interface (see module docstring).
+    zeroed_interfaces:
+        Interfaces that report no prototype at all.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        version: int,
+        model: Optional[EvolutionModel] = None,
+        count_adjustments: Optional[Mapping[str, int]] = None,
+        zeroed_interfaces: Optional[Iterable[str]] = None,
+        global_markers: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.engine = Engine(engine)
+        self.version = int(version)
+        self.model = model if model is not None else default_model()
+        self.count_adjustments: Dict[str, int] = dict(count_adjustments or {})
+        self.zeroed_interfaces: FrozenSet[str] = frozenset(zeroed_interfaces or ())
+        # Non-standard names a sloppy browser build leaks onto `window`
+        # (Section 8's ANTBROWSER observation).
+        self.global_markers: FrozenSet[str] = frozenset(global_markers or ())
+
+    def get_own_property_names(self, interface: str) -> Tuple[str, ...]:
+        """``Object.getOwnPropertyNames(interface.prototype)``.
+
+        Missing or zeroed prototypes enumerate as empty, matching the
+        paper's convention of recording 0 for absent interfaces.
+        """
+        if interface in self.zeroed_interfaces:
+            return ()
+        names = self.model.property_names(interface, self.engine, self.version)
+        delta = self.count_adjustments.get(interface, 0)
+        if delta == 0 or not names:
+            return names
+        if delta > 0:
+            injected = tuple(
+                f"{interface}$injected{i:02d}" for i in range(delta)
+            )
+            return names + injected
+        keep = max(0, len(names) + delta)
+        return names[:keep]
+
+    def own_property_count(self, interface: str) -> int:
+        """``Object.getOwnPropertyNames(interface.prototype).length``."""
+        if interface in self.zeroed_interfaces:
+            return 0
+        count = self.model.property_count(interface, self.engine, self.version)
+        if count <= 0:
+            return 0
+        return max(0, count + self.count_adjustments.get(interface, 0))
+
+    def prototype_has_own(self, interface: str, prop: str) -> bool:
+        """``interface.prototype.hasOwnProperty(prop)``."""
+        if interface in self.zeroed_interfaces:
+            return False
+        # Negative adjustments model properties being trimmed; structural
+        # names go first, so named (time-based) properties survive unless
+        # the interface is zeroed entirely.
+        return self.model.has_property(interface, prop, self.engine, self.version)
+
+    def window_global_names(self) -> Tuple[str, ...]:
+        """Non-interface globals visible on ``window``.
+
+        Genuine browsers expose only the standard set; fraud builds may
+        leak vendor artifacts (``ANTBROWSER`` and friends), which the
+        namespace probe hunts for.
+        """
+        standard = (
+            "window", "self", "document", "location", "navigator",
+            "history", "screen", "localStorage", "sessionStorage",
+            "fetch", "setTimeout", "setInterval", "requestAnimationFrame",
+        )
+        return standard + tuple(sorted(self.global_markers))
+
+    def with_overrides(
+        self,
+        count_adjustments: Optional[Mapping[str, int]] = None,
+        zeroed_interfaces: Optional[Iterable[str]] = None,
+        global_markers: Optional[Iterable[str]] = None,
+    ) -> "JSEnvironment":
+        """New environment layering extra overrides onto this one."""
+        merged_counts = dict(self.count_adjustments)
+        for interface, delta in (count_adjustments or {}).items():
+            merged_counts[interface] = merged_counts.get(interface, 0) + int(delta)
+        merged_zeroed = set(self.zeroed_interfaces)
+        merged_zeroed.update(zeroed_interfaces or ())
+        merged_markers = set(self.global_markers)
+        merged_markers.update(global_markers or ())
+        return JSEnvironment(
+            self.engine,
+            self.version,
+            model=self.model,
+            count_adjustments=merged_counts,
+            zeroed_interfaces=merged_zeroed,
+            global_markers=merged_markers,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JSEnvironment(engine={self.engine.value!r}, version={self.version}, "
+            f"adjust={len(self.count_adjustments)}, zeroed={len(self.zeroed_interfaces)})"
+        )

@@ -1,0 +1,127 @@
+"""Realistic member-name generation for simulated prototypes.
+
+``Object.getOwnPropertyNames(Element.prototype)`` on a real browser
+returns names like ``getAttribute`` or ``scrollIntoView``, not
+``Element$prop042``.  Nothing in the pipeline depends on the names —
+only their count — but realistic names make collected payloads,
+debugging dumps, and the quarantine log read like production data.
+
+Names are composed deterministically from per-domain word stock: the
+interface's name picks a domain (element, canvas, audio, ...), and a
+seeded permutation of verb-noun combinations yields as many unique
+members as the evolution model asks for.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+__all__ = ["member_names"]
+
+_DOMAIN_WORDS = {
+    "element": (
+        ("get", "set", "has", "remove", "toggle", "query", "closest",
+         "matches", "insert", "append", "prepend", "replace", "scroll",
+         "attach", "request", "release", "animate", "check", "lookup",
+         "assign", "observe", "dispatch", "clone", "normalize"),
+        ("Attribute", "AttributeNS", "AttributeNode", "ElementsByTagName",
+         "ElementsByClassName", "Selector", "SelectorAll", "Child",
+         "Children", "Node", "HTML", "Adjacent", "IntoView", "Pointer",
+         "Capture", "Shadow", "Slot", "Fullscreen", "Rect", "Rects",
+         "Animations", "Visibility", "Part", "Id"),
+    ),
+    "graphics": (
+        ("draw", "fill", "stroke", "clear", "create", "get", "put",
+         "measure", "transform", "translate", "rotate", "scale", "clip",
+         "save", "restore", "begin", "close", "move", "line", "arc",
+         "rect", "bind", "compile", "link", "attach", "blend", "enable"),
+        ("Image", "ImageData", "Rect", "Text", "Path", "Gradient",
+         "Pattern", "Style", "Transform", "Matrix", "Buffer", "Shader",
+         "Program", "Texture", "Framebuffer", "Uniform", "Attrib",
+         "Viewport", "Scissor", "State", "Context", "Layer"),
+    ),
+    "media": (
+        ("play", "pause", "load", "seek", "capture", "request", "set",
+         "get", "add", "remove", "fast", "can", "decode", "encode",
+         "mute", "connect", "disconnect", "start", "stop", "suspend",
+         "resume", "create", "schedule"),
+        ("Back", "Track", "Tracks", "Stream", "Source", "Buffer", "Key",
+         "Session", "Cue", "Playback", "Rate", "Time", "Ranges", "Media",
+         "Type", "PictureInPicture", "RemotePlayback", "Audio", "Node",
+         "Gain", "Oscillator", "Analyser", "Worklet"),
+    ),
+    "generic": (
+        ("get", "set", "has", "add", "remove", "delete", "clear", "take",
+         "observe", "disconnect", "update", "commit", "abort", "resolve",
+         "register", "unregister", "open", "close", "send", "receive",
+         "read", "write", "lock", "unlock", "query", "watch"),
+        ("Item", "Items", "Entry", "Entries", "Record", "Records", "Key",
+         "Keys", "Value", "Values", "State", "Options", "Handler",
+         "Listener", "Target", "Range", "Descriptor", "Snapshot",
+         "Permission", "Property", "Properties", "Context", "Info"),
+    ),
+}
+
+_ACCESSORS = (
+    "length", "name", "id", "type", "value", "state", "status", "mode",
+    "kind", "label", "active", "ready", "pending", "detail", "origin",
+    "version", "flags", "size", "count", "index", "parent", "owner",
+)
+
+
+def _domain_for(interface: str) -> str:
+    lowered = interface.lower()
+    if any(stem in lowered for stem in ("element", "document", "node", "range", "shadow")):
+        return "element"
+    if any(stem in lowered for stem in ("canvas", "webgl", "svg", "image", "paint")):
+        return "graphics"
+    if any(stem in lowered for stem in ("media", "audio", "video", "speech", "track")):
+        return "media"
+    return "generic"
+
+
+@lru_cache(maxsize=2048)
+def member_names(interface: str, count: int) -> Tuple[str, ...]:
+    """``count`` unique, realistic member names for ``interface``.
+
+    Deterministic: the same (interface, count) always yields the same
+    tuple, and ``member_names(i, n)`` is a prefix of
+    ``member_names(i, n + k)`` so growing surfaces only append.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    verbs, nouns = _DOMAIN_WORDS[_domain_for(interface)]
+    seed = sum(ord(c) for c in interface)
+    names = []
+    # Plain accessors first (real prototypes are attribute-heavy).
+    for idx in range(min(count, len(_ACCESSORS))):
+        names.append(_ACCESSORS[(seed + idx) % len(_ACCESSORS)])
+    # Then verb-noun methods, walking a seeded coprime stride so the
+    # sequence is a permutation of the full product set.
+    product = len(verbs) * len(nouns)
+    stride = (seed % product) | 1
+    while len(stride_factors := _common_factors(stride, product)) > 1:
+        stride += 2
+    position = seed % product
+    suffix = 0
+    seen = set(names)
+    while len(names) < count:
+        verb = verbs[position % len(verbs)]
+        noun = nouns[(position // len(verbs)) % len(nouns)]
+        candidate = verb + noun + (str(suffix) if suffix else "")
+        if candidate not in seen:
+            names.append(candidate)
+            seen.add(candidate)
+        position = (position + stride) % product
+        if position == seed % product:
+            suffix += 1  # product exhausted; start a numbered generation
+    return tuple(names)
+
+
+def _common_factors(a: int, b: int) -> set:
+    factors = set()
+    for candidate in range(1, min(a, b) + 1):
+        if a % candidate == 0 and b % candidate == 0:
+            factors.add(candidate)
+    return factors

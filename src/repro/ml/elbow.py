@@ -1,0 +1,99 @@
+"""Elbow-method utilities for choosing the number of clusters.
+
+Paper Figures 3 and 4 plot the within-cluster sum of squares (WCSS)
+against k and the *relative* WCSS improvement, from which the authors
+select k=11.  :func:`elbow_analysis` reproduces both series and
+:func:`select_k_elbow` applies the paper's rule: pick the k with the most
+pronounced relative improvement among the candidate elbows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.kmeans import KMeans
+
+__all__ = ["ElbowResult", "elbow_analysis", "relative_wcss_gain", "select_k_elbow"]
+
+
+@dataclass
+class ElbowResult:
+    """WCSS curve over a range of k values.
+
+    Attributes
+    ----------
+    ks:
+        The evaluated cluster counts, ascending.
+    wcss:
+        Best-of-``n_init`` inertia for each k (Figure 3's y-axis).
+    relative_gain:
+        Relative WCSS improvement per k (Figure 4's y-axis); the first
+        entry is 0 by construction.
+    """
+
+    ks: List[int]
+    wcss: List[float]
+    relative_gain: List[float] = field(default_factory=list)
+
+    def as_rows(self) -> List[tuple]:
+        """(k, wcss, relative_gain) rows, handy for table rendering."""
+        return list(zip(self.ks, self.wcss, self.relative_gain))
+
+
+def relative_wcss_gain(wcss: Sequence[float]) -> List[float]:
+    """Relative improvement ``(wcss[i-1] - wcss[i]) / wcss[i-1]`` per step.
+
+    A spike in this series marks a k beyond which extra clusters stop
+    paying for themselves — the paper reads k=11 off this curve.
+    """
+    values = [float(v) for v in wcss]
+    gains = [0.0]
+    for prev, curr in zip(values, values[1:]):
+        gains.append(0.0 if prev <= 0.0 else (prev - curr) / prev)
+    return gains
+
+
+def elbow_analysis(
+    matrix: np.ndarray,
+    ks: Iterable[int],
+    n_init: int = 3,
+    random_state: Optional[int] = None,
+) -> ElbowResult:
+    """Fit KMeans for every k and collect the WCSS curve."""
+    ordered = sorted(set(int(k) for k in ks))
+    if not ordered:
+        raise ValueError("ks must contain at least one cluster count")
+    if ordered[0] < 1:
+        raise ValueError("cluster counts must be >= 1")
+    wcss = []
+    for idx, k in enumerate(ordered):
+        seed = None if random_state is None else random_state + idx
+        model = KMeans(n_clusters=k, n_init=n_init, random_state=seed)
+        model.fit(matrix)
+        wcss.append(float(model.inertia_))
+    return ElbowResult(ks=ordered, wcss=wcss, relative_gain=relative_wcss_gain(wcss))
+
+
+def select_k_elbow(result: ElbowResult, min_k: int = 3) -> int:
+    """Pick the elbow k: the most pronounced relative-WCSS *spike*.
+
+    Relative gains normally decay as k grows; a k whose gain jumps above
+    its predecessor marks an elbow.  Mirroring the paper's reading of
+    Figure 4 (where the pronounced increase at k=11 singles it out among
+    the candidate elbows 3, 6 and 11), we return the k >= ``min_k`` with
+    the largest increase of relative gain over the preceding k.
+    """
+    candidates = [
+        (k, gain - prev_gain)
+        for k, gain, prev_gain in zip(
+            result.ks[1:], result.relative_gain[1:], result.relative_gain[:-1]
+        )
+        if k >= min_k
+    ]
+    if not candidates:
+        raise ValueError(f"no candidate k >= {min_k} in the elbow result")
+    best_k, _ = max(candidates, key=lambda item: item[1])
+    return int(best_k)

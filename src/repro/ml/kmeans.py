@@ -1,0 +1,248 @@
+"""KMeans clustering (k-means++ initialization, Lloyd iterations).
+
+Section 6.4.3 of the paper clusters the PCA-projected coarse-grained
+fingerprints with k-means, picking k=11 via the elbow method.  This
+implementation is fully vectorized so the 205k-row training matrix of the
+paper's deployment clusters in seconds, supports multiple restarts
+(``n_init``) with the best inertia kept, and handles empty clusters by
+re-seeding them from the points farthest from their centroids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters (the paper's k; 11 for the deployed model).
+    n_init:
+        Independent restarts; the run with the lowest inertia wins.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Convergence threshold on the squared centroid movement.
+    random_state:
+        Seed for reproducible initialization.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        ``(n_clusters, n_features)`` centroid matrix.
+    labels_:
+        Training-set assignments.
+    inertia_:
+        Within-cluster sum of squares (WCSS) of the best run — the
+        quantity plotted in paper Figures 3 and 4.
+    n_iter_:
+        Lloyd iterations used by the best run.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 4,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.n_clusters = int(n_clusters)
+        self.n_init = int(n_init)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.random_state = random_state
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iter_: Optional[int] = None
+
+    def fit(self, matrix: np.ndarray) -> "KMeans":
+        """Cluster ``matrix``; keeps the best of ``n_init`` restarts."""
+        data = np.ascontiguousarray(matrix, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+        n_samples = data.shape[0]
+        if n_samples < self.n_clusters:
+            raise ValueError(
+                f"n_samples={n_samples} < n_clusters={self.n_clusters}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        sq_norms = np.einsum("ij,ij->i", data, data)
+
+        best_inertia = np.inf
+        best: Optional[tuple] = None
+        for _ in range(self.n_init):
+            centers, labels, inertia, n_iter = self._single_run(data, sq_norms, rng)
+            if inertia < best_inertia:
+                best_inertia = inertia
+                best = (centers, labels, inertia, n_iter)
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit and return the training-set labels."""
+        return self.fit(matrix).labels_
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Assign each row of ``matrix`` to its nearest centroid."""
+        self._check_fitted()
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim == 1:
+            data = data[None, :]
+        if data.shape[1] != self.cluster_centers_.shape[1]:
+            raise ValueError(
+                f"expected {self.cluster_centers_.shape[1]} features, "
+                f"got {data.shape[1]}"
+            )
+        sq_norms = np.einsum("ij,ij->i", data, data)
+        labels, _ = self._assign(data, sq_norms, self.cluster_centers_)
+        return labels
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Distances from each row to every centroid."""
+        self._check_fitted()
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim == 1:
+            data = data[None, :]
+        distances_sq = _pairwise_sq_distances(
+            data, np.einsum("ij,ij->i", data, data), self.cluster_centers_
+        )
+        return np.sqrt(np.maximum(distances_sq, 0.0))
+
+    def score(self, matrix: np.ndarray) -> float:
+        """Negative WCSS of ``matrix`` under the fitted centroids."""
+        self._check_fitted()
+        data = np.asarray(matrix, dtype=float)
+        sq_norms = np.einsum("ij,ij->i", data, data)
+        _, inertia = self._assign(data, sq_norms, self.cluster_centers_)
+        return -inertia
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _single_run(
+        self,
+        data: np.ndarray,
+        sq_norms: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple:
+        centers = self._kmeanspp_init(data, sq_norms, rng)
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        inertia = np.inf
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            labels, inertia = self._assign(data, sq_norms, centers)
+            new_centers = _recompute_centers(data, labels, self.n_clusters)
+            empty = np.nonzero(np.isnan(new_centers[:, 0]))[0]
+            if empty.size:
+                new_centers = self._reseed_empty(
+                    data, sq_norms, new_centers, labels, empty
+                )
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        labels, inertia = self._assign(data, sq_norms, centers)
+        return centers, labels, inertia, n_iter
+
+    def _kmeanspp_init(
+        self,
+        data: np.ndarray,
+        sq_norms: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n_samples = data.shape[0]
+        centers = np.empty((self.n_clusters, data.shape[1]))
+        first = int(rng.integers(n_samples))
+        centers[0] = data[first]
+        closest_sq = _sq_distance_to_center(data, sq_norms, centers[0])
+        for idx in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0.0:
+                # All remaining points coincide with existing centers.
+                pick = int(rng.integers(n_samples))
+            else:
+                probs = np.maximum(closest_sq, 0.0) / total
+                pick = int(rng.choice(n_samples, p=probs))
+            centers[idx] = data[pick]
+            new_sq = _sq_distance_to_center(data, sq_norms, centers[idx])
+            np.minimum(closest_sq, new_sq, out=closest_sq)
+        return centers
+
+    def _assign(
+        self,
+        data: np.ndarray,
+        sq_norms: np.ndarray,
+        centers: np.ndarray,
+    ) -> tuple:
+        distances_sq = _pairwise_sq_distances(data, sq_norms, centers)
+        labels = distances_sq.argmin(axis=1)
+        inertia = float(
+            np.maximum(distances_sq[np.arange(data.shape[0]), labels], 0.0).sum()
+        )
+        return labels, inertia
+
+    def _reseed_empty(
+        self,
+        data: np.ndarray,
+        sq_norms: np.ndarray,
+        centers: np.ndarray,
+        labels: np.ndarray,
+        empty: np.ndarray,
+    ) -> np.ndarray:
+        # Move each empty centroid onto the point currently farthest from
+        # its assigned centroid; this is the standard scikit-learn remedy.
+        filled = centers.copy()
+        occupied = np.nonzero(~np.isnan(centers[:, 0]))[0]
+        distances_sq = _pairwise_sq_distances(data, sq_norms, centers[occupied])
+        nearest_sq = distances_sq.min(axis=1)
+        order = np.argsort(nearest_sq)[::-1]
+        for rank, cluster in enumerate(empty):
+            filled[cluster] = data[order[rank % data.shape[0]]]
+        return filled
+
+    def _check_fitted(self) -> None:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans is not fitted; call fit() first")
+
+
+def _pairwise_sq_distances(
+    data: np.ndarray, sq_norms: np.ndarray, centers: np.ndarray
+) -> np.ndarray:
+    center_sq = np.einsum("ij,ij->i", centers, centers)
+    cross = data @ centers.T
+    return sq_norms[:, None] - 2.0 * cross + center_sq[None, :]
+
+
+def _sq_distance_to_center(
+    data: np.ndarray, sq_norms: np.ndarray, center: np.ndarray
+) -> np.ndarray:
+    return np.maximum(
+        sq_norms - 2.0 * (data @ center) + float(center @ center), 0.0
+    )
+
+
+def _recompute_centers(
+    data: np.ndarray, labels: np.ndarray, n_clusters: int
+) -> np.ndarray:
+    counts = np.bincount(labels, minlength=n_clusters).astype(float)
+    sums = np.zeros((n_clusters, data.shape[1]))
+    np.add.at(sums, labels, data)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        centers = sums / counts[:, None]
+    return centers

@@ -1,0 +1,172 @@
+"""Clustering, entropy, and anonymity metrics.
+
+Three families of measurements from the paper live here:
+
+* **Majority-cluster accuracy** (Appendix-4, Formula 1) — the fraction of
+  sessions assigned to the majority cluster of their user-agent string;
+  the paper's headline 99.6% figure.
+* **Shannon / normalized entropy** of individual features (Table 7).
+* **Anonymity-set sizes** of whole fingerprints (Figure 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "anonymity_set_sizes",
+    "anonymity_survey",
+    "majority_cluster_accuracy",
+    "majority_cluster_map",
+    "normalized_shannon_entropy",
+    "shannon_entropy",
+    "silhouette_samples_mean",
+]
+
+
+def majority_cluster_map(
+    labels: Sequence[Hashable], clusters: Sequence[int]
+) -> Dict[Hashable, int]:
+    """Map each label (user-agent) to the cluster holding most of its rows.
+
+    Ties break toward the smaller cluster id so the mapping is
+    deterministic.
+    """
+    if len(labels) != len(clusters):
+        raise ValueError("labels and clusters must have equal length")
+    per_label: Dict[Hashable, Counter] = defaultdict(Counter)
+    for label, cluster in zip(labels, clusters):
+        per_label[label][int(cluster)] += 1
+    mapping = {}
+    for label, counts in per_label.items():
+        best = max(counts.items(), key=lambda item: (item[1], -item[0]))
+        mapping[label] = best[0]
+    return mapping
+
+
+def majority_cluster_accuracy(
+    labels: Sequence[Hashable], clusters: Sequence[int]
+) -> float:
+    """Fraction of rows landing in their label's majority cluster.
+
+    This is the paper's Formula 1 accuracy: a row is "correctly
+    clustered" iff it sits in the cluster that holds the majority of the
+    rows sharing its user-agent.
+    """
+    if not len(labels):
+        raise ValueError("cannot compute accuracy on empty input")
+    mapping = majority_cluster_map(labels, clusters)
+    correct = sum(
+        1 for label, cluster in zip(labels, clusters) if mapping[label] == int(cluster)
+    )
+    return correct / len(labels)
+
+
+def shannon_entropy(values: Sequence[Hashable]) -> float:
+    """Shannon entropy (bits) of the empirical distribution of ``values``."""
+    if not len(values):
+        raise ValueError("cannot compute entropy of an empty sequence")
+    counts = np.asarray(list(Counter(values).values()), dtype=float)
+    probs = counts / counts.sum()
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def normalized_shannon_entropy(values: Sequence[Hashable], total: int = 0) -> float:
+    """Entropy divided by ``log2(total)``.
+
+    ``total`` defaults to the number of observations, matching the
+    AmIUnique convention the paper compares against (normalized entropy
+    of 0.58 for the user-agent).
+    """
+    n = total or len(values)
+    if n < 2:
+        return 0.0
+    return shannon_entropy(values) / float(np.log2(n))
+
+
+def anonymity_set_sizes(fingerprints: Sequence[Tuple]) -> List[int]:
+    """Size of the anonymity set each fingerprint belongs to.
+
+    The anonymity set of a fingerprint is the group of observations that
+    share exactly the same fingerprint; users inside large sets cannot be
+    told apart.
+    """
+    counts = Counter(fingerprints)
+    return [counts[fp] for fp in fingerprints]
+
+
+def anonymity_survey(
+    fingerprints: Sequence[Tuple],
+    buckets: Sequence[Tuple[int, int]] = (
+        (1, 1),
+        (2, 10),
+        (11, 50),
+        (51, 500),
+        (501, 10**9),
+    ),
+) -> Dict[str, float]:
+    """Percentage of fingerprints per anonymity-set-size bucket (Figure 5).
+
+    Buckets are inclusive ``(low, high)`` ranges; the default mirrors the
+    granularity the paper reports (unique, small, medium, >50, >500).
+    """
+    if not fingerprints:
+        raise ValueError("cannot survey an empty fingerprint collection")
+    sizes = anonymity_set_sizes(fingerprints)
+    total = len(sizes)
+    survey = {}
+    for low, high in buckets:
+        share = sum(1 for s in sizes if low <= s <= high) / total
+        label = f"{low}" if low == high else f"{low}-{high if high < 10**9 else '+'}"
+        survey[label] = 100.0 * share
+    return survey
+
+
+def silhouette_samples_mean(
+    matrix: np.ndarray, clusters: Sequence[int], sample_size: int = 2000, seed: int = 0
+) -> float:
+    """Mean silhouette coefficient on a random subsample.
+
+    Not used by the paper directly but a useful internal sanity check
+    that the k=11 clustering is well separated.  Subsampling keeps the
+    O(n^2) pairwise distances affordable on 205k rows.
+    """
+    data = np.asarray(matrix, dtype=float)
+    labels = np.asarray(clusters, dtype=np.int64)
+    if data.shape[0] != labels.shape[0]:
+        raise ValueError("matrix and clusters must align")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette requires at least two clusters")
+    rng = np.random.default_rng(seed)
+    if data.shape[0] > sample_size:
+        picks = rng.choice(data.shape[0], size=sample_size, replace=False)
+        data = data[picks]
+        labels = labels[picks]
+        unique = np.unique(labels)
+        if unique.size < 2:
+            raise ValueError("subsample collapsed to a single cluster; raise sample_size")
+
+    sq = np.einsum("ij,ij->i", data, data)
+    distances = np.sqrt(
+        np.maximum(sq[:, None] - 2.0 * (data @ data.T) + sq[None, :], 0.0)
+    )
+    scores = np.zeros(data.shape[0])
+    for idx in range(data.shape[0]):
+        own = labels == labels[idx]
+        own_count = own.sum() - 1
+        if own_count <= 0:
+            scores[idx] = 0.0
+            continue
+        a = distances[idx, own].sum() / own_count
+        b = min(
+            distances[idx, labels == other].mean()
+            for other in unique
+            if other != labels[idx]
+        )
+        denom = max(a, b)
+        scores[idx] = 0.0 if denom == 0.0 else (b - a) / denom
+    return float(scores.mean())

@@ -1,0 +1,128 @@
+"""Mini-batch k-means (Sculley, 2010).
+
+The paper's Section 8 worries about training cost once the FinOrg
+dataset outgrows comfortable batch training.  Stratified sampling
+(:mod:`repro.core.sampling`) is one answer; mini-batch k-means is the
+other: centroids are updated from small random batches with per-center
+learning rates, trading a little inertia for an order of magnitude less
+compute — useful for the periodic retraining the drift detector
+triggers.
+
+The interface matches :class:`repro.ml.kmeans.KMeans` (fit / predict /
+labels_ / inertia_), so it drops into the pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.kmeans import KMeans, _pairwise_sq_distances
+
+__all__ = ["MiniBatchKMeans"]
+
+
+class MiniBatchKMeans:
+    """Mini-batch variant of Lloyd's algorithm.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids.
+    batch_size:
+        Rows sampled per update step.
+    n_iterations:
+        Number of mini-batch steps.
+    random_state:
+        Seed for batch sampling and initialization.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        batch_size: int = 1024,
+        n_iterations: int = 150,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        self.n_clusters = int(n_clusters)
+        self.batch_size = int(batch_size)
+        self.n_iterations = int(n_iterations)
+        self.random_state = random_state
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+
+    def fit(self, matrix: np.ndarray) -> "MiniBatchKMeans":
+        """Run mini-batch updates, then one full assignment pass."""
+        data = np.ascontiguousarray(matrix, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+        n_samples = data.shape[0]
+        if n_samples < self.n_clusters:
+            raise ValueError(
+                f"n_samples={n_samples} < n_clusters={self.n_clusters}"
+            )
+        rng = np.random.default_rng(self.random_state)
+
+        # Seed with k-means++ on a subsample (cheap and well-spread).
+        seed_size = min(n_samples, max(self.batch_size, 10 * self.n_clusters))
+        seed_rows = rng.choice(n_samples, size=seed_size, replace=False)
+        seeder = KMeans(
+            n_clusters=self.n_clusters, n_init=1, max_iter=1,
+            random_state=None if self.random_state is None else self.random_state + 1,
+        )
+        seeder.fit(data[seed_rows])
+        centers = seeder.cluster_centers_.copy()
+        counts = np.ones(self.n_clusters)
+
+        batch = min(self.batch_size, n_samples)
+        for _ in range(self.n_iterations):
+            rows = rng.choice(n_samples, size=batch, replace=False)
+            points = data[rows]
+            sq_norms = np.einsum("ij,ij->i", points, points)
+            assignments = _pairwise_sq_distances(points, sq_norms, centers).argmin(
+                axis=1
+            )
+            for cluster in np.unique(assignments):
+                members = points[assignments == cluster]
+                counts[cluster] += members.shape[0]
+                # Per-center learning rate 1/counts: the standard
+                # mini-batch convergence schedule.
+                rate = members.shape[0] / counts[cluster]
+                centers[cluster] = (1.0 - rate) * centers[cluster] + rate * (
+                    members.mean(axis=0)
+                )
+
+        self.cluster_centers_ = centers
+        sq_norms = np.einsum("ij,ij->i", data, data)
+        distances_sq = _pairwise_sq_distances(data, sq_norms, centers)
+        self.labels_ = distances_sq.argmin(axis=1)
+        self.inertia_ = float(
+            np.maximum(
+                distances_sq[np.arange(n_samples), self.labels_], 0.0
+            ).sum()
+        )
+        return self
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit and return training labels."""
+        return self.fit(matrix).labels_
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Assign rows to the nearest fitted centroid."""
+        if self.cluster_centers_ is None:
+            raise RuntimeError("MiniBatchKMeans is not fitted; call fit() first")
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim == 1:
+            data = data[None, :]
+        sq_norms = np.einsum("ij,ij->i", data, data)
+        return _pairwise_sq_distances(data, sq_norms, self.cluster_centers_).argmin(
+            axis=1
+        )

@@ -1,0 +1,127 @@
+"""WSGI application for the collection endpoint.
+
+A dependency-free HTTP surface around :class:`ScoringService`, runnable
+under any WSGI server (``wsgiref.simple_server`` works for demos):
+
+* ``POST /collect`` — one wire payload in the body; responds with the
+  verdict as JSON (``202`` accepted, ``400`` rejected);
+* ``GET  /health``  — liveness + model metadata;
+* ``GET  /metrics`` — scored/flagged counters and the quarantine
+  breakdown, Prometheus-style plain text.
+
+The app never exposes more than the verdict: the cluster table and the
+model internals stay server-side, which matters because Algorithm 1's
+outputs are inputs to FinOrg's risk engine, not to the client.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterable, List, Tuple
+
+from repro.service.scoring import ScoringService
+
+__all__ = ["CollectionApp"]
+
+_MAX_BODY = 4096
+
+
+class CollectionApp:
+    """WSGI callable wrapping a :class:`ScoringService`."""
+
+    def __init__(self, service: ScoringService) -> None:
+        self.service = service
+
+    # ------------------------------------------------------------------
+
+    def __call__(
+        self, environ: dict, start_response: Callable
+    ) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        if method == "POST" and path == "/collect":
+            return self._collect(environ, start_response)
+        if method == "GET" and path == "/health":
+            return self._health(start_response)
+        if method == "GET" and path == "/metrics":
+            return self._metrics(start_response)
+        return self._respond(
+            start_response, "404 Not Found", {"error": "unknown endpoint"}
+        )
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, environ: dict, start_response: Callable) -> List[bytes]:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length <= 0 or length > _MAX_BODY:
+            return self._respond(
+                start_response, "400 Bad Request", {"error": "bad content length"}
+            )
+        body = environ["wsgi.input"].read(length)
+        verdict = self.service.score_wire(body)
+        document = {
+            "accepted": verdict.accepted,
+            "flagged": verdict.flagged,
+            "risk_factor": verdict.risk_factor,
+            "latency_ms": round(verdict.latency_ms, 3),
+        }
+        if not verdict.accepted:
+            document["reject_reason"] = verdict.reject_reason
+            return self._respond(start_response, "400 Bad Request", document)
+        return self._respond(start_response, "202 Accepted", document)
+
+    def _health(self, start_response: Callable) -> List[bytes]:
+        model = self.service.polygraph.cluster_model
+        return self._respond(
+            start_response,
+            "200 OK",
+            {
+                "status": "ok",
+                "model_accuracy": round(float(model.accuracy_), 4),
+                "clusters": model.config.n_clusters,
+                "known_user_agents": len(model.ua_to_cluster),
+            },
+        )
+
+    def _metrics(self, start_response: Callable) -> List[bytes]:
+        quarantine = self.service.validator.quarantine
+        lines = [
+            "# TYPE polygraph_sessions_scored counter",
+            f"polygraph_sessions_scored {self.service.scored_count}",
+            "# TYPE polygraph_sessions_flagged counter",
+            f"polygraph_sessions_flagged {self.service.flagged_count}",
+            "# TYPE polygraph_payloads_rejected counter",
+            f"polygraph_payloads_rejected {quarantine.total_rejects}",
+        ]
+        for reason, count in sorted(quarantine.counts().items()):
+            lines.append(
+                f'polygraph_payloads_rejected_by_reason{{reason="{reason.value}"}} {count}'
+            )
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+        start_response(
+            "200 OK",
+            [
+                ("Content-Type", "text/plain; version=0.0.4"),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _respond(
+        start_response: Callable, status: str, document: dict
+    ) -> List[bytes]:
+        body = json.dumps(document).encode("utf-8")
+        start_response(
+            status,
+            [
+                ("Content-Type", "application/json"),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]

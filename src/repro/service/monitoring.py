@@ -1,0 +1,169 @@
+"""Operational monitoring: flag-rate windows and the drift schedule.
+
+Two watchdogs keep the deployed model honest:
+
+* :class:`FlagRateMonitor` — the paper flags ~0.4% of sessions; a
+  sustained departure from that band (either direction) means the model
+  or the traffic changed.  The monitor keeps a rolling window of
+  verdicts and raises when the windowed rate leaves the band.
+* :class:`DriftScheduler` — Section 6.6 runs the drift check "on
+  designated dates ... a few days after the latest releases of Firefox,
+  Chrome, and Edge".  The scheduler derives those dates from the
+  release calendar and tells the operator which releases each check
+  should evaluate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Deque, List, Optional, Tuple
+
+from repro.browsers.releases import ReleaseCalendar, default_calendar
+from repro.browsers.useragent import Vendor
+
+__all__ = ["DriftScheduler", "DriftCheckPlan", "FlagRateMonitor"]
+
+
+class FlagRateMonitor:
+    """Rolling-window alarm on the session flag rate.
+
+    Parameters
+    ----------
+    window:
+        Number of recent verdicts considered.
+    expected_rate:
+        The healthy flag rate (the paper's deployment: 897/205k ~ 0.44%).
+    tolerance_factor:
+        Alarm when the windowed rate leaves
+        ``[expected / factor, expected * factor]``.
+    min_observations:
+        No alarms until the window has this many verdicts.
+    """
+
+    def __init__(
+        self,
+        window: int = 20_000,
+        expected_rate: float = 0.0044,
+        tolerance_factor: float = 4.0,
+        min_observations: int = 2_000,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < expected_rate < 1.0:
+            raise ValueError("expected_rate must lie in (0, 1)")
+        if tolerance_factor <= 1.0:
+            raise ValueError("tolerance_factor must exceed 1")
+        self.window = window
+        self.expected_rate = expected_rate
+        self.tolerance_factor = tolerance_factor
+        self.min_observations = min_observations
+        self._verdicts: Deque[bool] = deque(maxlen=window)
+        self._flagged_in_window = 0
+
+    def observe(self, flagged: bool) -> None:
+        """Record one verdict."""
+        if len(self._verdicts) == self._verdicts.maxlen:
+            if self._verdicts[0]:
+                self._flagged_in_window -= 1
+        self._verdicts.append(bool(flagged))
+        if flagged:
+            self._flagged_in_window += 1
+
+    @property
+    def windowed_rate(self) -> float:
+        """Flag rate over the current window."""
+        if not self._verdicts:
+            return 0.0
+        return self._flagged_in_window / len(self._verdicts)
+
+    @property
+    def alarm(self) -> bool:
+        """Whether the windowed rate left the healthy band."""
+        if len(self._verdicts) < self.min_observations:
+            return False
+        rate = self.windowed_rate
+        low = self.expected_rate / self.tolerance_factor
+        high = self.expected_rate * self.tolerance_factor
+        return rate < low or rate > high
+
+    def describe(self) -> str:
+        """One-line operator summary."""
+        return (
+            f"flag rate {100 * self.windowed_rate:.3f}% over "
+            f"{len(self._verdicts)} sessions "
+            f"(healthy band {100 * self.expected_rate / self.tolerance_factor:.3f}"
+            f"-{100 * self.expected_rate * self.tolerance_factor:.3f}%)"
+            + ("  ALARM" if self.alarm else "")
+        )
+
+
+@dataclass(frozen=True)
+class DriftCheckPlan:
+    """One scheduled drift check."""
+
+    check_date: date
+    releases: Tuple[str, ...]  # ua_keys shipped since the previous check
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.check_date.isoformat()}: {', '.join(self.releases)}"
+
+
+class DriftScheduler:
+    """Derives the Section 6.6 drift-check dates from the calendar.
+
+    A check fires ``lag_days`` after each Firefox release (the paper's
+    anchor, since Chrome and Edge ship one to two weeks earlier) and
+    covers every release shipped since the previous check.
+    """
+
+    def __init__(
+        self,
+        calendar: Optional[ReleaseCalendar] = None,
+        lag_days: int = 4,
+    ) -> None:
+        if lag_days < 0:
+            raise ValueError("lag_days must be non-negative")
+        self.calendar = calendar if calendar is not None else default_calendar()
+        self.lag_days = lag_days
+
+    def plan(self, start: date, end: date) -> List[DriftCheckPlan]:
+        """All drift checks due in ``[start, end)``."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        firefox_releases = [
+            release
+            for release in self.calendar.released_before(Vendor.FIREFOX, end)
+            if start <= release.released + timedelta(days=self.lag_days) < end
+        ]
+        plans: List[DriftCheckPlan] = []
+        covered_through = start
+        for release in firefox_releases:
+            check_date = release.released + timedelta(days=self.lag_days)
+            fresh = [
+                r.key()
+                for r in self.calendar.new_releases_between(
+                    covered_through, check_date
+                )
+            ]
+            if fresh:
+                plans.append(DriftCheckPlan(check_date, tuple(sorted(fresh))))
+            covered_through = check_date
+        # Catch-up check: releases shipped after the last Firefox-anchored
+        # date (e.g. a Chrome release landing at the end of the window)
+        # still need evaluation before the window closes.
+        remainder = [
+            r.key()
+            for r in self.calendar.new_releases_between(covered_through, end)
+        ]
+        if remainder:
+            plans.append(
+                DriftCheckPlan(end - timedelta(days=1), tuple(sorted(remainder)))
+            )
+        return plans
+
+    def next_check(self, today: date) -> Optional[DriftCheckPlan]:
+        """The first check due after ``today`` (within a year)."""
+        plans = self.plan(today, today + timedelta(days=365))
+        return plans[0] if plans else None

@@ -1,0 +1,100 @@
+"""Real-time scoring service.
+
+Glues the pieces into the online path the paper deploys: wire payload →
+validation → (optional) persistence → model verdict, with end-to-end
+latency accounting against the Section 3 budget of 100ms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from datetime import date
+from typing import Optional
+
+from repro.core.pipeline import BrowserPolygraph
+from repro.service.ingest import IngestResult, PayloadValidator
+from repro.service.storage import SessionStore
+
+__all__ = ["ScoringService", "Verdict"]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The service's answer for one session."""
+
+    session_id: str
+    accepted: bool
+    flagged: bool
+    risk_factor: Optional[int]
+    reject_reason: Optional[str]
+    latency_ms: float
+
+    @property
+    def actionable(self) -> bool:
+        """Whether the risk engine should consider this session."""
+        return self.accepted and self.flagged
+
+
+class ScoringService:
+    """Validate, persist, and score payloads in real time.
+
+    Parameters
+    ----------
+    polygraph:
+        A fitted :class:`~repro.core.pipeline.BrowserPolygraph`.
+    validator:
+        Wire-contract enforcement; a default validator is created if
+        omitted.
+    store:
+        Optional durable store; accepted payloads are appended so the
+        next training window can be exported later.
+    """
+
+    def __init__(
+        self,
+        polygraph: BrowserPolygraph,
+        validator: Optional[PayloadValidator] = None,
+        store: Optional[SessionStore] = None,
+    ) -> None:
+        if not polygraph.is_fitted:
+            raise ValueError("ScoringService requires a fitted BrowserPolygraph")
+        self.polygraph = polygraph
+        self.validator = validator if validator is not None else PayloadValidator()
+        self.store = store
+        self.scored_count = 0
+        self.flagged_count = 0
+
+    def score_wire(self, wire: bytes, day: Optional[date] = None) -> Verdict:
+        """The full online path for one request."""
+        started = time.perf_counter()
+        ingest: IngestResult = self.validator.ingest_wire(wire)
+        if not ingest.accepted:
+            return Verdict(
+                session_id="",
+                accepted=False,
+                flagged=False,
+                risk_factor=None,
+                reject_reason=ingest.reason.value if ingest.reason else "unknown",
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+            )
+        payload = ingest.payload
+        if self.store is not None:
+            self.store.append(payload, day=day)
+        result = self.polygraph.detect_payload(payload)
+        self.scored_count += 1
+        if result.flagged:
+            self.flagged_count += 1
+        return Verdict(
+            session_id=payload.session_id,
+            accepted=True,
+            flagged=result.flagged,
+            risk_factor=result.risk_factor,
+            reject_reason=None,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    @property
+    def flag_rate(self) -> float:
+        """Share of scored sessions flagged so far."""
+        return self.flagged_count / self.scored_count if self.scored_count else 0.0

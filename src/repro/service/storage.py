@@ -1,0 +1,139 @@
+"""Append-only session store with rotation.
+
+FinOrg handed the authors "periodic datasets" collected over eight
+months.  :class:`SessionStore` is that mechanism: accepted payloads are
+appended to a JSONL segment; when a segment reaches its size cap it is
+rotated, and any range of sealed segments can be exported as a
+:class:`~repro.traffic.dataset.Dataset` for (re)training.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.browsers.useragent import parse_user_agent
+from repro.fingerprint.features import FEATURE_NAMES
+from repro.fingerprint.script import FingerprintPayload
+from repro.traffic.dataset import Dataset
+
+__all__ = ["SessionStore"]
+
+_SEGMENT_PREFIX = "sessions"
+
+
+class SessionStore:
+    """Durable JSONL storage for accepted payloads.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the segments (created if missing).
+    max_records_per_segment:
+        Rotation threshold.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], max_records_per_segment: int = 50_000
+    ) -> None:
+        if max_records_per_segment < 1:
+            raise ValueError("max_records_per_segment must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_records_per_segment = max_records_per_segment
+        self._active_index = self._discover_last_index()
+        self._active_count = self._count_records(self._segment_path(self._active_index))
+
+    # ------------------------------------------------------------------
+    # writes
+
+    def append(self, payload: FingerprintPayload, day: Optional[date] = None) -> None:
+        """Append one accepted payload (rotating when the segment fills)."""
+        if self._active_count >= self.max_records_per_segment:
+            self._active_index += 1
+            self._active_count = 0
+        record = {
+            "sid": payload.session_id,
+            "ua": payload.user_agent,
+            "f": list(payload.values),
+            "day": (day or date(1970, 1, 1)).isoformat(),
+        }
+        if payload.suspicious_globals:
+            record["g"] = list(payload.suspicious_globals)
+        path = self._segment_path(self._active_index)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._active_count += 1
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def segments(self) -> List[Path]:
+        """Existing segment files, oldest first."""
+        return sorted(self.root.glob(f"{_SEGMENT_PREFIX}-*.jsonl"))
+
+    def __len__(self) -> int:
+        return sum(self._count_records(path) for path in self.segments())
+
+    def iter_records(self) -> Iterator[dict]:
+        """Stream every stored record, oldest segment first."""
+        for path in self.segments():
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+
+    def export_dataset(self) -> Dataset:
+        """Materialize the whole store as a training dataset.
+
+        Ground-truth columns are filled with the placeholders a real
+        deployment has ("live" traffic carries no labels); tags default
+        to false because FinOrg joins them in from separate systems.
+        """
+        records = list(self.iter_records())
+        if not records:
+            raise ValueError("the session store is empty")
+        n = len(records)
+        features = np.array([r["f"] for r in records], dtype=np.int32)
+        user_agents = np.array([r["ua"] for r in records], dtype=object)
+        ua_keys = np.array(
+            [parse_user_agent(r["ua"]).key() for r in records], dtype=object
+        )
+        return Dataset(
+            features=features,
+            ua_keys=ua_keys,
+            user_agents=user_agents,
+            session_ids=np.array([r["sid"] for r in records], dtype=object),
+            days=np.array([r["day"] for r in records], dtype="datetime64[D]"),
+            untrusted_ip=np.zeros(n, dtype=bool),
+            untrusted_cookie=np.zeros(n, dtype=bool),
+            ato=np.zeros(n, dtype=bool),
+            truth_kind=np.array(["legit"] * n, dtype=object),
+            truth_browser=np.array([""] * n, dtype=object),
+            truth_category=np.zeros(n, dtype=np.int8),
+            truth_perturbation=np.array([""] * n, dtype=object),
+            feature_names=list(FEATURE_NAMES)[: features.shape[1]],
+        )
+
+    # ------------------------------------------------------------------
+
+    def _segment_path(self, index: int) -> Path:
+        return self.root / f"{_SEGMENT_PREFIX}-{index:05d}.jsonl"
+
+    def _discover_last_index(self) -> int:
+        existing = self.segments()
+        if not existing:
+            return 0
+        return int(existing[-1].stem.rsplit("-", 1)[1])
+
+    @staticmethod
+    def _count_records(path: Path) -> int:
+        if not path.exists():
+            return 0
+        with path.open("r", encoding="utf-8") as handle:
+            return sum(1 for line in handle if line.strip())

@@ -1,0 +1,38 @@
+"""Synthetic FinOrg traffic.
+
+The paper trains on 205k logged-in sessions collected at a financial
+company, each carrying the 28 coarse-grained feature values, the
+``navigator.userAgent`` string, an opaque session id, and three internal
+tags (``Untrusted_IP``, ``Untrusted_Cookie``, ``ATO``).  That data is
+proprietary; this subpackage generates a calibrated synthetic
+equivalent:
+
+* :mod:`repro.traffic.popularity` — browser-version market shares over
+  calendar time (auto-updating majority, straggler tail, ancient relics);
+* :mod:`repro.traffic.tags` — a generative model of the three session
+  tags, conditioned on the session's persona (ordinary user, privacy
+  enthusiast, fraudster), calibrated to the paper's Table 4 base rates;
+* :mod:`repro.traffic.generator` — the simulator mixing legitimate
+  sessions (with benign configuration perturbations), derivative
+  browsers, and fraud-browser sessions of all four categories;
+* :mod:`repro.traffic.dataset` — a columnar container with matrix
+  views, splits, and (de)serialization.
+"""
+
+from repro.traffic.dataset import Dataset
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+from repro.traffic.popularity import PopularityModel
+from repro.traffic.sessions import GroundTruth, Session, SessionKind
+from repro.traffic.tags import Persona, TagModel
+
+__all__ = [
+    "Dataset",
+    "GroundTruth",
+    "Persona",
+    "PopularityModel",
+    "Session",
+    "SessionKind",
+    "TagModel",
+    "TrafficConfig",
+    "TrafficSimulator",
+]

@@ -1,0 +1,412 @@
+"""The FinOrg traffic simulator.
+
+Generates datasets shaped like the paper's deployment data: 205k
+logged-in sessions over a calendar window, a realistic version mix
+(:mod:`repro.traffic.popularity`), benign configuration perturbations
+(:mod:`repro.browsers.configs`), derivative browsers (Brave), and
+injected fraud-browser sessions of all four Section 2.3 categories.
+
+The generator works at two speeds: feature vectors for each distinct
+``(vendor, version, perturbation)`` combination are collected once from
+a real simulated :class:`JSEnvironment` and then broadcast to all
+matching rows, so a 205k-row dataset builds in a couple of seconds while
+still exercising the same collection code path as a single session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import date, timedelta
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.browsers.configs import BENIGN_PERTURBATIONS, Perturbation
+from repro.browsers.derivatives import brave_environment
+from repro.browsers.profiles import BrowserProfile
+from repro.browsers.releases import (
+    ReleaseCalendar,
+    default_calendar,
+    engine_for_vendor,
+)
+from repro.browsers.useragent import Vendor, format_user_agent
+from repro.fingerprint.collector import FingerprintCollector
+from repro.fingerprint.features import FEATURE_SPECS, FeatureSpec
+from repro.fraudbrowsers.base import Category, FraudProfile
+from repro.fraudbrowsers.catalog import FRAUD_BROWSERS, fraud_browser
+from repro.jsengine.evolution import EvolutionModel, default_model
+from repro.traffic.dataset import Dataset
+from repro.traffic.popularity import PopularityModel
+from repro.traffic.sessions import SessionKind
+from repro.traffic.tags import Persona, TagModel
+
+__all__ = ["TrafficConfig", "TrafficSimulator"]
+
+_WEEK = timedelta(days=7)
+
+# Product mix of fraud-browser sessions observed in traffic.  Weights are
+# arbitrary but fixed; Category-2 engines span Chromium 61-114 so fixed
+# fingerprints land in several legitimate clusters.
+_CAT1_MIX: Tuple[Tuple[str, float], ...] = (
+    ("Linken Sphere-8.93", 0.5),
+    ("ClonBrowser-4.6.6", 0.5),
+)
+_CAT2_MIX: Tuple[Tuple[str, float], ...] = (
+    ("GoLogin-3.2.19", 0.22),
+    ("Incogniton-3.2.7.7", 0.18),
+    ("CheBrowser-0.3.38", 0.14),
+    ("VMLogin-1.3.8.5", 0.14),
+    ("AntBrowser-2023.05", 0.12),
+    ("Octo Browser-1.10", 0.10),
+    ("Sphere-1.3", 0.10),
+)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of the simulated deployment window.
+
+    Defaults reproduce the paper's training window: 205k sessions from
+    March 1 to July 1, 2023, with a fraud prevalence calibrated to the
+    Table 4 outcomes (897 flagged sessions, ~0.43% ATO overall).
+    """
+
+    n_sessions: int = 205_000
+    start: date = date(2023, 3, 1)
+    end: date = date(2023, 7, 1)
+    seed: int = 7
+    cat1_sessions: int = 200
+    cat2_sessions: int = 320
+    cat3_sessions: int = 100
+    cat4_sessions: int = 150
+    brave_sessions: int = 40
+
+    def fraud_total(self) -> int:
+        """Number of injected fraud sessions."""
+        return (
+            self.cat1_sessions
+            + self.cat2_sessions
+            + self.cat3_sessions
+            + self.cat4_sessions
+        )
+
+    def scaled(self, n_sessions: int) -> "TrafficConfig":
+        """Same mix at a different size (fraud counts scale linearly)."""
+        ratio = n_sessions / self.n_sessions
+        return replace(
+            self,
+            n_sessions=n_sessions,
+            cat1_sessions=max(1, int(round(self.cat1_sessions * ratio))),
+            cat2_sessions=max(1, int(round(self.cat2_sessions * ratio))),
+            cat3_sessions=max(0, int(round(self.cat3_sessions * ratio))),
+            cat4_sessions=max(0, int(round(self.cat4_sessions * ratio))),
+            brave_sessions=max(0, int(round(self.brave_sessions * ratio))),
+        )
+
+
+class _VectorFactory:
+    """Feature vectors per (vendor, version, perturbation), cached."""
+
+    def __init__(
+        self, specs: Sequence[FeatureSpec], model: EvolutionModel
+    ) -> None:
+        self._collector = FingerprintCollector(specs)
+        self._model = model
+        self._cache: Dict[Tuple, np.ndarray] = {}
+
+    def legit(
+        self, vendor: Vendor, version: int, perturbation: Optional[Perturbation]
+    ) -> np.ndarray:
+        """Vector for a genuine installation (optionally perturbed)."""
+        key = ("legit", vendor, version, perturbation.name if perturbation else "")
+        vector = self._cache.get(key)
+        if vector is None:
+            profile = BrowserProfile(
+                vendor, version, (perturbation,) if perturbation else ()
+            )
+            vector = self._collector.collect(profile.environment(self._model))
+            self._cache[key] = vector
+        return vector
+
+    def brave(self, version: int) -> np.ndarray:
+        """Vector for a Brave build tracking ``chrome-version``."""
+        key = ("brave", version)
+        vector = self._cache.get(key)
+        if vector is None:
+            env = brave_environment(version)
+            env.model = self._model
+            vector = self._collector.collect(env)
+            self._cache[key] = vector
+        return vector
+
+    def fraud(self, product_name: str, profile: FraudProfile) -> np.ndarray:
+        """Vector for a fraud-browser session (Category 1 is per-profile)."""
+        product = fraud_browser(product_name)
+        if product.category is Category.IMPOSSIBLE_FINGERPRINT:
+            return self._collector.collect(
+                product.environment(profile, self._model)
+            )
+        key = ("fraud", product.full_name, product.category, profile.claimed.key())
+        vector = self._cache.get(key)
+        if vector is None:
+            vector = self._collector.collect(
+                product.environment(profile, self._model)
+            )
+            self._cache[key] = vector
+        return vector
+
+
+class TrafficSimulator:
+    """Generates FinOrg-shaped datasets from the simulated universe."""
+
+    def __init__(
+        self,
+        config: TrafficConfig = TrafficConfig(),
+        specs: Sequence[FeatureSpec] = FEATURE_SPECS,
+        model: Optional[EvolutionModel] = None,
+        calendar: Optional[ReleaseCalendar] = None,
+        tag_model: Optional[TagModel] = None,
+        perturbations: Sequence[Perturbation] = BENIGN_PERTURBATIONS,
+    ) -> None:
+        if config.n_sessions <= config.fraud_total() + config.brave_sessions:
+            raise ValueError("n_sessions too small for the configured fraud mix")
+        self.config = config
+        self.specs = tuple(specs)
+        self.model = model if model is not None else default_model()
+        self.calendar = calendar if calendar is not None else default_calendar()
+        self.popularity = PopularityModel(self.calendar)
+        self.tag_model = tag_model if tag_model is not None else TagModel()
+        self.perturbations = tuple(perturbations)
+        self._factory = _VectorFactory(self.specs, self.model)
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Dataset:
+        """Build the full dataset (legit + derivative + fraud, shuffled)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        n_legit = cfg.n_sessions - cfg.fraud_total() - cfg.brave_sessions
+
+        days = self._sample_days(rng, cfg.n_sessions)
+        rows: List[dict] = []
+        rows.extend(self._legit_rows(rng, days[:n_legit]))
+        cursor = n_legit
+        rows.extend(
+            self._brave_rows(rng, days[cursor : cursor + cfg.brave_sessions])
+        )
+        cursor += cfg.brave_sessions
+        for category, count in (
+            (1, cfg.cat1_sessions),
+            (2, cfg.cat2_sessions),
+            (3, cfg.cat3_sessions),
+            (4, cfg.cat4_sessions),
+        ):
+            rows.extend(
+                self._fraud_rows(rng, days[cursor : cursor + count], category)
+            )
+            cursor += count
+
+        order = rng.permutation(len(rows))
+        return self._assemble([rows[i] for i in order], rng)
+
+    # ------------------------------------------------------------------
+    # row builders
+
+    def _sample_days(self, rng: np.random.Generator, count: int) -> List[date]:
+        span = (self.config.end - self.config.start).days
+        if span <= 0:
+            raise ValueError("config.end must be after config.start")
+        offsets = rng.integers(0, span, size=count)
+        return [self.config.start + timedelta(days=int(o)) for o in offsets]
+
+    def _sample_versions(
+        self, rng: np.random.Generator, days: Sequence[date]
+    ) -> List[Tuple[Vendor, int]]:
+        """Sample (vendor, version) per day, bucketing days by week."""
+        buckets: Dict[date, List[int]] = {}
+        for idx, day in enumerate(days):
+            anchor = self.config.start + _WEEK * (
+                (day - self.config.start) // _WEEK
+            )
+            buckets.setdefault(anchor, []).append(idx)
+        result: List[Optional[Tuple[Vendor, int]]] = [None] * len(days)
+        for anchor, indices in sorted(buckets.items()):
+            midpoint = anchor + timedelta(days=3)
+            picks = self.popularity.sample(midpoint, len(indices), rng)
+            for idx, pick in zip(indices, picks):
+                result[idx] = pick
+        return result  # type: ignore[return-value]
+
+    def _choose_perturbation(
+        self, rng: np.random.Generator, vendor: Vendor, version: int
+    ) -> Optional[Perturbation]:
+        engine = engine_for_vendor(vendor, version)
+        draw = float(rng.random())
+        threshold = 0.0
+        for perturbation in self.perturbations:
+            if not perturbation.applies_to(engine, version, vendor):
+                continue
+            threshold += perturbation.probability
+            if draw < threshold:
+                return perturbation
+        return None
+
+    def _legit_rows(
+        self, rng: np.random.Generator, days: Sequence[date]
+    ) -> List[dict]:
+        versions = self._sample_versions(rng, days)
+        rows = []
+        for day, (vendor, version) in zip(days, versions):
+            perturbation = self._choose_perturbation(rng, vendor, version)
+            persona = (
+                Persona.PRIVACY if perturbation is not None else Persona.ORDINARY
+            )
+            rows.append(
+                {
+                    "day": day,
+                    "vendor": vendor,
+                    "version": version,
+                    "vector": self._factory.legit(vendor, version, perturbation),
+                    "persona": persona,
+                    "kind": SessionKind.LEGIT,
+                    "browser": vendor.value,
+                    "category": 0,
+                    "perturbation": perturbation.name if perturbation else "",
+                }
+            )
+        return rows
+
+    def _brave_rows(
+        self, rng: np.random.Generator, days: Sequence[date]
+    ) -> List[dict]:
+        rows = []
+        for day in days:
+            chrome = self.calendar.latest_before(Vendor.CHROME, day)
+            # Brave users sit on the latest or previous Chrome train.
+            version = chrome.version - int(rng.random() < 0.3)
+            rows.append(
+                {
+                    "day": day,
+                    "vendor": Vendor.CHROME,
+                    "version": version,
+                    "vector": self._factory.brave(version),
+                    "persona": Persona.PRIVACY,
+                    "kind": SessionKind.DERIVATIVE,
+                    "browser": "brave",
+                    "category": 0,
+                    "perturbation": "brave-shields",
+                }
+            )
+        return rows
+
+    def _fraud_rows(
+        self, rng: np.random.Generator, days: Sequence[date], category: int
+    ) -> List[dict]:
+        # Stolen profiles circulate on marketplaces for months before
+        # use, so the victim's browser skews older than live traffic:
+        # sample victim user-agents from the popularity mix of ~3 months
+        # before the session date.
+        victim_days = [day - timedelta(days=90) for day in days]
+        victims = self._sample_versions(rng, victim_days)
+        if category == 1:
+            mix = _CAT1_MIX
+        elif category == 2:
+            mix = _CAT2_MIX
+        else:
+            mix = ()
+        rows = []
+        for idx, (day, (vendor, version)) in enumerate(zip(days, victims)):
+            claimed_key = f"{vendor.value}-{version}"
+            if category in (1, 2):
+                product = self._pick_product(rng, mix)
+                profile = FraudProfile(
+                    product,
+                    _claimed(vendor, version),
+                    profile_seed=int(rng.integers(2**31)),
+                )
+                vector = self._factory.fraud(product, profile)
+                browser = product
+                persona = Persona.FRAUDSTER
+            elif category == 3:
+                product = "AdsPower-5.4.20"
+                profile = FraudProfile(product, _claimed(vendor, version), idx)
+                vector = self._factory.fraud(product, profile)
+                browser = product
+                persona = Persona.STEALTH_FRAUDSTER
+            else:
+                # Category 4: a genuine browser replaying stolen state.
+                vector = self._factory.legit(vendor, version, None)
+                browser = "stolen-profile-replay"
+                persona = Persona.STEALTH_FRAUDSTER
+            rows.append(
+                {
+                    "day": day,
+                    "vendor": vendor,
+                    "version": version,
+                    "vector": vector,
+                    "persona": persona,
+                    "kind": SessionKind.FRAUD,
+                    "browser": browser,
+                    "category": category,
+                    "perturbation": "",
+                    "claimed_key": claimed_key,
+                }
+            )
+        return rows
+
+    @staticmethod
+    def _pick_product(
+        rng: np.random.Generator, mix: Tuple[Tuple[str, float], ...]
+    ) -> str:
+        draw = float(rng.random())
+        threshold = 0.0
+        for name, weight in mix:
+            threshold += weight
+            if draw < threshold:
+                return name
+        return mix[-1][0]
+
+    # ------------------------------------------------------------------
+
+    def _assemble(self, rows: List[dict], rng: np.random.Generator) -> Dataset:
+        n = len(rows)
+        features = np.vstack([row["vector"] for row in rows]).astype(np.int32)
+        ua_keys = np.array(
+            [f"{row['vendor'].value}-{row['version']}" for row in rows],
+            dtype=object,
+        )
+        user_agents = np.array(
+            [format_user_agent(row["vendor"], row["version"]) for row in rows],
+            dtype=object,
+        )
+        session_ids = np.array(
+            [f"sess-{self.config.seed:02d}-{i:07d}" for i in range(n)], dtype=object
+        )
+        days = np.array([row["day"] for row in rows], dtype="datetime64[D]")
+        personas = tuple(row["persona"] for row in rows)
+        ip, cookie, ato = self.tag_model.sample_many(personas, rng)
+        return Dataset(
+            features=features,
+            ua_keys=ua_keys,
+            user_agents=user_agents,
+            session_ids=session_ids,
+            days=days,
+            untrusted_ip=ip,
+            untrusted_cookie=cookie,
+            ato=ato,
+            truth_kind=np.array([row["kind"].value for row in rows], dtype=object),
+            truth_browser=np.array([row["browser"] for row in rows], dtype=object),
+            truth_category=np.array(
+                [row["category"] for row in rows], dtype=np.int8
+            ),
+            truth_perturbation=np.array(
+                [row["perturbation"] for row in rows], dtype=object
+            ),
+            feature_names=[spec.name for spec in self.specs],
+        )
+
+
+def _claimed(vendor: Vendor, version: int):
+    from repro.browsers.useragent import parse_ua_key
+
+    return parse_ua_key(f"{vendor.value}-{version}")

@@ -1,0 +1,135 @@
+"""Browser-version market shares over calendar time.
+
+The FinOrg traffic the paper trains on contains 113 distinct browser
+releases: a fast-moving auto-updated majority (Chrome/Edge users sit on
+the newest two or three versions), a straggler tail of months-old
+releases (enterprise pinning, disabled updates), and a relic stratum of
+ancient browsers (kiosks, unsupported OS installs) — the Edge 17-19 and
+Firefox 46-50 sessions that give Table 3 its cluster 6.
+
+:class:`PopularityModel` turns the release calendar into sampling
+weights for any given day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.browsers.releases import ReleaseCalendar, default_calendar
+from repro.browsers.useragent import Vendor
+
+__all__ = ["PopularityModel", "VersionShare"]
+
+# Firefox 92 never shows up in the paper's Table 3; we keep it out of the
+# simulated traffic so the cluster table can match row for row.
+_EXCLUDED = {(Vendor.FIREFOX, 92)}
+
+_MODERN_WINDOW_DAYS = 180
+_MODERN_DECAY_DAYS = 35.0
+
+_VENDOR_SHARES: Tuple[Tuple[Vendor, float], ...] = (
+    (Vendor.CHROME, 0.655),
+    (Vendor.EDGE, 0.145),
+    (Vendor.FIREFOX, 0.200),
+)
+
+_STRATA = (("modern", 0.9650), ("straggler", 0.0300), ("ancient", 0.0050))
+_STRAGGLER_DECAY = 0.90
+
+_ANCIENT_VERSIONS: Tuple[Tuple[Vendor, int], ...] = tuple(
+    [(Vendor.EDGE, v) for v in (17, 18, 19)]
+    + [(Vendor.CHROME, v) for v in range(59, 69)]
+    + [(Vendor.FIREFOX, v) for v in range(46, 51)]
+)
+
+
+@dataclass(frozen=True)
+class VersionShare:
+    """One (vendor, version) with its sampling probability."""
+
+    vendor: Vendor
+    version: int
+    share: float
+
+
+@dataclass
+class PopularityModel:
+    """Sampling distribution over (vendor, version) for a given day."""
+
+    calendar: ReleaseCalendar = field(default_factory=default_calendar)
+
+    def shares_on(self, day: date) -> List[VersionShare]:
+        """Normalized version shares for sessions observed on ``day``."""
+        weights: Dict[Tuple[Vendor, int], float] = {}
+        strata = dict(_STRATA)
+
+        for vendor, vendor_share in _VENDOR_SHARES:
+            releases = self.calendar.released_before(vendor, day)
+            if vendor is Vendor.EDGE:
+                releases = [r for r in releases if r.version >= 79]
+            modern = [
+                r for r in releases if (day - r.released).days <= _MODERN_WINDOW_DAYS
+            ]
+            straggler = [
+                r for r in releases if (day - r.released).days > _MODERN_WINDOW_DAYS
+            ]
+
+            modern_w = {
+                (r.vendor, r.version): float(
+                    np.exp(-(day - r.released).days / _MODERN_DECAY_DAYS)
+                )
+                for r in modern
+                if (r.vendor, r.version) not in _EXCLUDED
+            }
+            # Stragglers: geometric decay with age rank (most recent old
+            # release is most common among the pinned population).
+            straggler_w = {
+                (r.vendor, r.version): _STRAGGLER_DECAY**rank
+                for rank, r in enumerate(reversed(straggler))
+                if (r.vendor, r.version) not in _EXCLUDED
+            }
+            _accumulate(weights, modern_w, strata["modern"] * vendor_share)
+            _accumulate(weights, straggler_w, strata["straggler"] * vendor_share)
+
+        ancient_w = {
+            key: 1.0
+            for key in _ANCIENT_VERSIONS
+            if key not in _EXCLUDED and self.calendar.has_release(*key)
+        }
+        _accumulate(weights, ancient_w, strata["ancient"])
+
+        total = sum(weights.values())
+        return [
+            VersionShare(vendor, version, weight / total)
+            for (vendor, version), weight in sorted(
+                weights.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+            )
+        ]
+
+    def sample(
+        self, day: date, count: int, rng: np.random.Generator
+    ) -> List[Tuple[Vendor, int]]:
+        """Draw ``count`` (vendor, version) pairs for sessions on ``day``."""
+        if count <= 0:
+            return []
+        shares = self.shares_on(day)
+        probs = np.array([s.share for s in shares])
+        picks = rng.choice(len(shares), size=count, p=probs)
+        return [(shares[i].vendor, shares[i].version) for i in picks]
+
+
+def _accumulate(
+    target: Dict[Tuple[Vendor, int], float],
+    source: Dict[Tuple[Vendor, int], float],
+    mass: float,
+) -> None:
+    """Add ``source`` weights to ``target``, scaled to total ``mass``."""
+    total = sum(source.values())
+    if total <= 0.0:
+        return
+    for key, weight in source.items():
+        target[key] = target.get(key, 0.0) + mass * weight / total

@@ -1,0 +1,39 @@
+"""Dataset-to-wire replay.
+
+Turns a :class:`~repro.traffic.dataset.Dataset` back into the wire
+payloads its sessions would have posted — the bridge between the
+offline simulator and the online service layer, used for load tests,
+service demos, and end-to-end verification that offline and online
+verdicts agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.fingerprint.script import FingerprintPayload
+from repro.traffic.dataset import Dataset
+
+__all__ = ["iter_payloads", "iter_wire_payloads"]
+
+
+def iter_payloads(
+    dataset: Dataset, limit: Optional[int] = None
+) -> Iterator[FingerprintPayload]:
+    """Yield each session as a :class:`FingerprintPayload`."""
+    n = len(dataset) if limit is None else min(limit, len(dataset))
+    for idx in range(n):
+        yield FingerprintPayload(
+            session_id=str(dataset.session_ids[idx]),
+            user_agent=str(dataset.user_agents[idx]),
+            values=tuple(int(v) for v in dataset.features[idx]),
+            service_time_ms=0.0,
+        )
+
+
+def iter_wire_payloads(
+    dataset: Dataset, limit: Optional[int] = None
+) -> Iterator[bytes]:
+    """Yield each session as serialized wire bytes."""
+    for payload in iter_payloads(dataset, limit):
+        yield payload.to_wire()

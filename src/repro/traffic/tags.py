@@ -1,0 +1,105 @@
+"""Generative model of FinOrg's internal session tags.
+
+FinOrg tags sessions with ``Untrusted_IP`` (login from an IP the account
+has no history with), ``Untrusted_Cookie`` (newly established cookie),
+and ``ATO`` (the account was involved in a confirmed takeover within 72
+hours).  The paper reports the marginal rates — 51% / 49% / 0.43% across
+all traffic — and strong enrichment among flagged sessions (Table 4).
+
+We encode the *conditional* structure as ground truth.  Every session
+gets a :class:`Persona`:
+
+* ``ORDINARY`` — the bulk of users; base rates.
+* ``PRIVACY`` — privacy-conscious users (Brave, hardened Firefox,
+  feature-stripped enterprise builds).  They trip IP/cookie heuristics
+  more often (VPNs, cookie clearing) but are *less* associated with ATO
+  than the base population — matching the paper's observation that
+  low-risk-factor flags are usually benign.
+* ``FRAUDSTER`` — Category 1/2 fraud-browser operators: stolen cookies
+  replayed from unfamiliar infrastructure, with a material probability
+  of a confirmed ATO inside 72 hours.
+* ``STEALTH_FRAUDSTER`` — Category 3/4 attackers whose fingerprints are
+  clean; they contribute to the all-traffic ATO rate but are invisible
+  to coarse-grained detection (the paper's explanation for the 2%
+  flagged-ATO rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Persona", "TagModel", "TagRates"]
+
+
+class Persona(str, Enum):
+    """Latent user type driving the tag distribution."""
+
+    ORDINARY = "ordinary"
+    PRIVACY = "privacy"
+    FRAUDSTER = "fraudster"
+    STEALTH_FRAUDSTER = "stealth_fraudster"
+
+
+@dataclass(frozen=True)
+class TagRates:
+    """Bernoulli rates of the three tags for one persona."""
+
+    untrusted_ip: float
+    untrusted_cookie: float
+    ato: float
+
+    def __post_init__(self) -> None:
+        for name in ("untrusted_ip", "untrusted_cookie", "ato"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} rate must be a probability, got {value}")
+
+
+_DEFAULT_RATES = {
+    Persona.ORDINARY: TagRates(0.505, 0.485, 0.0039),
+    Persona.PRIVACY: TagRates(0.670, 0.650, 0.0010),
+    Persona.FRAUDSTER: TagRates(0.950, 0.920, 0.0700),
+    Persona.STEALTH_FRAUDSTER: TagRates(0.900, 0.870, 0.0500),
+}
+
+
+class TagModel:
+    """Samples (Untrusted_IP, Untrusted_Cookie, ATO) per persona."""
+
+    def __init__(self, rates: dict = None) -> None:
+        self.rates = dict(_DEFAULT_RATES)
+        if rates:
+            self.rates.update(rates)
+        missing = set(Persona) - set(self.rates)
+        if missing:
+            raise ValueError(f"missing tag rates for personas: {missing}")
+
+    def rates_for(self, persona: Persona) -> TagRates:
+        """The Bernoulli rates of one persona."""
+        return self.rates[Persona(persona)]
+
+    def sample(
+        self, persona: Persona, rng: np.random.Generator
+    ) -> Tuple[bool, bool, bool]:
+        """Draw one session's tag triple."""
+        rates = self.rates_for(persona)
+        return (
+            bool(rng.random() < rates.untrusted_ip),
+            bool(rng.random() < rates.untrusted_cookie),
+            bool(rng.random() < rates.ato),
+        )
+
+    def sample_many(
+        self, personas: Tuple[Persona, ...], rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized draw for a batch of personas."""
+        n = len(personas)
+        ip_rate = np.array([self.rates_for(p).untrusted_ip for p in personas])
+        cookie_rate = np.array([self.rates_for(p).untrusted_cookie for p in personas])
+        ato_rate = np.array([self.rates_for(p).ato for p in personas])
+        draws = rng.random((3, n))
+        return draws[0] < ip_rate, draws[1] < cookie_rate, draws[2] < ato_rate

@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+Heavy artifacts (traffic datasets, trained pipelines) are session-scoped
+so the whole suite trains once per size.  Sizes are chosen for test
+speed; the benchmarks exercise paper-scale data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BrowserPolygraph
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 15k-session training window with the default fraud mix."""
+    return TrafficSimulator(TrafficConfig(seed=7).scaled(15_000)).generate()
+
+
+@pytest.fixture(scope="session")
+def trained(small_dataset):
+    """Browser Polygraph fitted on :func:`small_dataset`."""
+    return BrowserPolygraph().fit(small_dataset)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

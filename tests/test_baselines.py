@@ -1,0 +1,133 @@
+"""Fine-grained baseline simulators and the Appendix-5 pipeline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.amiunique import AmIUniqueTool
+from repro.baselines.clientjs import ClientJSTool
+from repro.baselines.fingerprintjs import FingerprintJSTool
+from repro.baselines.flatten import encode_for_clustering, flatten_json
+from repro.baselines.perf import default_profiles, measure_tools
+from repro.browsers.profiles import BrowserProfile
+from repro.browsers.useragent import Vendor
+
+
+class TestTools:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return BrowserProfile(Vendor.CHROME, 112)
+
+    def test_fingerprintjs_payload_size_band(self, profile):
+        run = FingerprintJSTool().run(profile)
+        assert 10_000 < run.payload_bytes() < 40_000  # paper: ~23KB
+
+    def test_clientjs_payload_size_band(self, profile):
+        run = ClientJSTool().run(profile)
+        assert 6_000 < run.payload_bytes() < 20_000  # paper: ~10KB
+
+    def test_amiunique_payload_size_band(self, profile):
+        run = AmIUniqueTool().run(profile)
+        assert 40_000 < run.payload_bytes() < 120_000  # paper: ~60KB
+
+    def test_payloads_are_json_serializable(self, profile):
+        for tool in (FingerprintJSTool(), ClientJSTool(), AmIUniqueTool()):
+            run = tool.run(profile)
+            assert json.loads(json.dumps(run.fingerprint))
+
+    def test_installs_differ_in_device_noise(self, profile):
+        tool = FingerprintJSTool()
+        a = tool.run(profile, install_seed=1).fingerprint
+        b = tool.run(profile, install_seed=2).fingerprint
+        assert a["canvas"] != b["canvas"]
+        assert a["userAgent"] == b["userAgent"]
+
+    def test_versions_differ_in_era_signals(self):
+        tool = FingerprintJSTool()
+        a = tool.run(BrowserProfile(Vendor.CHROME, 100), install_seed=1).fingerprint
+        b = tool.run(BrowserProfile(Vendor.CHROME, 112), install_seed=1).fingerprint
+        assert a["eraFlags"] != b["eraFlags"]
+
+    def test_clientjs_ua_fields_present(self, profile):
+        doc = ClientJSTool().run(profile).fingerprint
+        assert doc["ua_browserMajorVersion"] == 112
+        assert doc["ua_browser"] == "Chrome"
+
+    def test_service_time_measured(self, profile):
+        run = AmIUniqueTool().run(profile)
+        assert run.service_time_ms > 0.0
+
+
+class TestFlatten:
+    def test_nested_dict_flattening(self):
+        flat = flatten_json({"a": {"b": {"c": 1}}, "d": True})
+        assert flat == {"a.b.c": 1, "d": True}
+
+    def test_lists_become_length_and_preview(self):
+        flat = flatten_json({"fonts": ["Arial", "Verdana"]})
+        assert flat["fonts.length"] == 2
+        assert flat["fonts.preview"] == "Arial,Verdana"
+
+    def test_encode_basic_types(self):
+        docs = [
+            {"n": 1, "b": True, "s": "x"},
+            {"n": 2, "b": False, "s": "y"},
+            {"n": 2, "b": True, "s": "x"},
+            {"n": 1, "b": True, "s": "y"},
+        ]
+        matrix, names = encode_for_clustering(docs, exclude_prefixes=())
+        assert matrix.shape == (4, 3)
+        by_name = dict(zip(names, matrix.T))
+        assert by_name["n"].tolist() == [1.0, 2.0, 2.0, 1.0]
+        assert by_name["b"].tolist() == [1.0, 0.0, 1.0, 1.0]
+        assert by_name["s"].tolist() == [0.0, 1.0, 0.0, 1.0]
+
+    def test_missing_values_encode_minus_one(self):
+        docs = [{"a": 1, "b": 5}, {"a": 2}, {"a": 2}]
+        matrix, names = encode_for_clustering(docs, exclude_prefixes=())
+        by_name = dict(zip(names, matrix.T))
+        assert by_name["b"].tolist() == [5.0, -1.0, -1.0]
+
+    def test_constant_columns_dropped(self):
+        docs = [{"const": 7, "varies": i % 2} for i in range(6)]
+        _, names = encode_for_clustering(docs, exclude_prefixes=())
+        assert names == ["varies"]
+
+    def test_unique_per_row_columns_dropped(self):
+        docs = [{"hash": f"h{i}", "grp": i % 2} for i in range(8)]
+        _, names = encode_for_clustering(docs, exclude_prefixes=())
+        assert "hash" not in names and "grp" in names
+
+    def test_ua_prefixes_excluded(self):
+        docs = [{"ua_browser": f"B{i}", "keep": i % 3} for i in range(9)]
+        _, names = encode_for_clustering(docs)
+        assert names == ["keep"]
+
+    def test_empty_documents_rejected(self):
+        with pytest.raises(ValueError):
+            encode_for_clustering([])
+
+
+class TestPerf:
+    def test_table2_shape(self):
+        costs = {c.tool: c for c in measure_tools(repeats=2)}
+        polygraph = costs["Browser Polygraph"]
+        # Polygraph is the smallest payload by an order of magnitude.
+        for name in ("AmIUnique", "FingerprintJS", "ClientJS"):
+            assert costs[name].avg_payload_bytes > 8 * polygraph.avg_payload_bytes
+        # And the fastest collector; AmIUnique is the slowest.
+        assert polygraph.avg_service_time_ms < costs["ClientJS"].avg_service_time_ms
+        assert costs["AmIUnique"].avg_service_time_ms == max(
+            c.avg_service_time_ms for c in costs.values()
+        )
+
+    def test_polygraph_meets_finorg_budget(self):
+        costs = {c.tool: c for c in measure_tools(repeats=2)}
+        polygraph = costs["Browser Polygraph"]
+        assert polygraph.avg_payload_bytes <= 1024
+        assert polygraph.avg_service_time_ms <= 100.0
+
+    def test_default_profiles_cover_vendors(self):
+        vendors = {p.vendor for p in default_profiles()}
+        assert vendors == {Vendor.CHROME, Vendor.FIREFOX, Vendor.EDGE}

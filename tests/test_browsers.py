@@ -1,0 +1,236 @@
+"""User-agent, release calendar, configs, derivatives, profile tests."""
+
+from datetime import date
+
+import pytest
+
+from repro.browsers.configs import (
+    BENIGN_PERTURBATIONS,
+    Perturbation,
+    perturbation_by_name,
+)
+from repro.browsers.derivatives import (
+    brave_environment,
+    tor_claimed_firefox_version,
+    tor_environment,
+)
+from repro.browsers.profiles import BrowserProfile
+from repro.browsers.releases import ReleaseCalendar, default_calendar, engine_for_vendor
+from repro.browsers.useragent import (
+    UserAgentError,
+    Vendor,
+    format_user_agent,
+    parse_ua_key,
+    parse_user_agent,
+    ua_key,
+)
+from repro.jsengine.environment import JSEnvironment
+from repro.jsengine.evolution import Engine
+
+
+class TestUserAgent:
+    @pytest.mark.parametrize(
+        "vendor,version",
+        [
+            (Vendor.CHROME, 59),
+            (Vendor.CHROME, 119),
+            (Vendor.FIREFOX, 46),
+            (Vendor.FIREFOX, 119),
+            (Vendor.EDGE, 79),
+            (Vendor.EDGE, 119),
+            (Vendor.EDGE, 17),
+            (Vendor.EDGE, 18),
+        ],
+    )
+    def test_roundtrip(self, vendor, version):
+        parsed = parse_user_agent(format_user_agent(vendor, version))
+        assert parsed.vendor is vendor
+        assert parsed.version == version
+
+    def test_edge_chromium_contains_chrome_token(self):
+        raw = format_user_agent(Vendor.EDGE, 112)
+        assert "Chrome/112" in raw and "Edg/112" in raw
+        assert parse_user_agent(raw).vendor is Vendor.EDGE
+
+    def test_edgehtml_spoofs_chrome_64(self):
+        raw = format_user_agent(Vendor.EDGE, 18)
+        assert "Chrome/64" in raw and "Edge/18" in raw
+        parsed = parse_user_agent(raw)
+        assert parsed.vendor is Vendor.EDGE and parsed.version == 18
+
+    def test_firefox_rv_token(self):
+        raw = format_user_agent(Vendor.FIREFOX, 110)
+        assert "rv:110.0" in raw and "Gecko/20100101" in raw
+
+    def test_macos_token(self):
+        raw = format_user_agent(Vendor.CHROME, 110, "Macintosh; Intel Mac OS X 10_15_7")
+        assert "Macintosh" in raw
+        assert parse_user_agent(raw).version == 110
+
+    def test_plain_chrome_parses_as_chrome(self):
+        parsed = parse_user_agent(format_user_agent(Vendor.CHROME, 101))
+        assert parsed.vendor is Vendor.CHROME
+
+    def test_garbage_rejected(self):
+        with pytest.raises(UserAgentError):
+            parse_user_agent("curl/8.0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(UserAgentError):
+            parse_user_agent("   ")
+
+    def test_zero_version_rejected(self):
+        with pytest.raises(UserAgentError):
+            format_user_agent(Vendor.CHROME, 0)
+
+    def test_ua_key_roundtrip(self):
+        parsed = parse_ua_key(ua_key(Vendor.FIREFOX, 102))
+        assert parsed.vendor is Vendor.FIREFOX and parsed.version == 102
+        assert parsed.raw.startswith("Mozilla/")
+
+    def test_bad_ua_key_rejected(self):
+        with pytest.raises(UserAgentError):
+            parse_ua_key("safari-16")
+
+    def test_display_and_key(self):
+        parsed = parse_ua_key("chrome-112")
+        assert parsed.display() == "Chrome 112"
+        assert parsed.key() == "chrome-112"
+
+
+class TestReleaseCalendar:
+    @pytest.fixture(scope="class")
+    def calendar(self):
+        return default_calendar()
+
+    def test_known_anchor_dates(self, calendar):
+        assert calendar.release(Vendor.CHROME, 114).released == date(2023, 5, 30)
+        assert calendar.release(Vendor.FIREFOX, 115).released == date(2023, 7, 4)
+
+    def test_release_dates_monotone_per_vendor(self, calendar):
+        for vendor in (Vendor.CHROME, Vendor.FIREFOX):
+            releases = calendar.released_before(vendor, date(2024, 6, 1))
+            dates = [r.released for r in releases]
+            assert dates == sorted(dates)
+
+    def test_edge_lags_chrome(self, calendar):
+        chrome = calendar.release(Vendor.CHROME, 110).released
+        edge = calendar.release(Vendor.EDGE, 110).released
+        assert chrome < edge <= chrome.replace(day=min(chrome.day + 14, 28))
+
+    def test_edgehtml_releases_present(self, calendar):
+        for version in (17, 18, 19):
+            assert calendar.has_release(Vendor.EDGE, version)
+
+    def test_latest_before(self, calendar):
+        latest = calendar.latest_before(Vendor.CHROME, date(2023, 6, 15))
+        assert latest.version == 114
+
+    def test_latest_before_no_history_rejected(self, calendar):
+        with pytest.raises(KeyError):
+            calendar.latest_before(Vendor.CHROME, date(2015, 1, 1))
+
+    def test_new_releases_between(self, calendar):
+        fresh = calendar.new_releases_between(date(2023, 10, 20), date(2023, 11, 5))
+        keys = {r.key() for r in fresh}
+        assert "firefox-119" in keys and "chrome-119" in keys
+
+    def test_engine_for_vendor(self):
+        assert engine_for_vendor(Vendor.CHROME, 100) is Engine.CHROMIUM
+        assert engine_for_vendor(Vendor.EDGE, 100) is Engine.CHROMIUM
+        assert engine_for_vendor(Vendor.EDGE, 18) is Engine.EDGEHTML
+        assert engine_for_vendor(Vendor.FIREFOX, 100) is Engine.GECKO
+
+    def test_out_of_scope_release_rejected(self, calendar):
+        with pytest.raises(KeyError):
+            calendar.release(Vendor.CHROME, 300)
+
+
+class TestPerturbations:
+    def test_lookup_by_name(self):
+        assert perturbation_by_name("ext-duckduckgo").count_adjustments == {
+            "Element": 2
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            perturbation_by_name("nope")
+
+    def test_engine_scoping(self):
+        ff_only = perturbation_by_name("ff-disable-serviceworkers")
+        assert ff_only.applies_to(Engine.GECKO, 110)
+        assert not ff_only.applies_to(Engine.CHROMIUM, 110)
+
+    def test_version_window_scoping(self):
+        trial = perturbation_by_name("chrome-119-field-trial")
+        assert trial.applies_to(Engine.CHROMIUM, 119, Vendor.CHROME)
+        assert not trial.applies_to(Engine.CHROMIUM, 118, Vendor.CHROME)
+        assert not trial.applies_to(Engine.CHROMIUM, 120, Vendor.CHROME)
+
+    def test_vendor_scoping(self):
+        trial = perturbation_by_name("chrome-119-field-trial")
+        assert not trial.applies_to(Engine.CHROMIUM, 119, Vendor.EDGE)
+
+    def test_apply_zeroes_interfaces(self):
+        env = JSEnvironment(Engine.GECKO, 110)
+        perturbed = perturbation_by_name("ff-disable-serviceworkers").apply(env)
+        assert perturbed.own_property_count("ServiceWorker") == 0
+        assert env.own_property_count("ServiceWorker") > 0
+
+    def test_apply_on_wrong_engine_is_identity(self):
+        env = JSEnvironment(Engine.CHROMIUM, 110)
+        perturbed = perturbation_by_name("ff-disable-serviceworkers").apply(env)
+        assert perturbed is env
+
+    def test_downgrade_changes_version(self):
+        env = JSEnvironment(Engine.CHROMIUM, 112)
+        frozen = perturbation_by_name("chromium-enterprise-frozen").apply(env)
+        assert frozen.version == 106
+
+    def test_probabilities_are_small(self):
+        for perturbation in BENIGN_PERTURBATIONS:
+            assert 0.0 < perturbation.probability < 0.06
+
+    def test_custom_perturbation_adjusts_counts(self):
+        env = JSEnvironment(Engine.CHROMIUM, 110)
+        custom = Perturbation(name="x", count_adjustments={"Element": 5})
+        assert custom.apply(env).own_property_count("Element") == (
+            env.own_property_count("Element") + 5
+        )
+
+
+class TestDerivatives:
+    def test_brave_differs_from_chrome(self):
+        brave = brave_environment(112)
+        chrome = JSEnvironment(Engine.CHROMIUM, 112)
+        assert brave.own_property_count("Element") < chrome.own_property_count("Element")
+
+    def test_brave_claims_chromium_engine(self):
+        assert brave_environment(110).engine is Engine.CHROMIUM
+
+    def test_tor_lags_firefox(self):
+        assert tor_claimed_firefox_version(115) == 102
+
+    def test_tor_zeroes_fingerprinting_apis(self):
+        env = tor_environment(115)
+        assert env.own_property_count("CanvasRenderingContext2D") == 0
+        assert env.own_property_count("WebGL2RenderingContext") == 0
+
+
+class TestBrowserProfile:
+    def test_environment_engine_matches_vendor(self):
+        assert BrowserProfile(Vendor.FIREFOX, 100).environment().engine is Engine.GECKO
+        assert BrowserProfile(Vendor.EDGE, 18).environment().engine is Engine.EDGEHTML
+
+    def test_user_agent_is_truthful(self):
+        profile = BrowserProfile(Vendor.CHROME, 111)
+        assert parse_user_agent(profile.user_agent()).version == 111
+        assert profile.ua_key() == "chrome-111"
+
+    def test_perturbations_apply_in_order(self):
+        extension = perturbation_by_name("ext-duckduckgo")
+        profile = BrowserProfile(Vendor.CHROME, 111, (extension,))
+        plain = BrowserProfile(Vendor.CHROME, 111)
+        assert profile.environment().own_property_count("Element") == (
+            plain.environment().own_property_count("Element") + 2
+        )

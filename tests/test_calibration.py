@@ -1,0 +1,28 @@
+"""Calibration audit tests: the simulator must match the paper's marginals."""
+
+import pytest
+
+from repro.analysis.calibration import audit_traffic
+
+
+def test_training_window_is_calibrated(small_dataset):
+    checks = audit_traffic(small_dataset)
+    failing = [c for c in checks if not c.within_tolerance]
+    assert not failing, "decalibrated marginals: " + "; ".join(
+        f"{c.name}: measured {c.measured}, paper {c.paper_value}" for c in failing
+    )
+
+
+def test_audit_covers_the_key_marginals(small_dataset):
+    names = {c.name for c in audit_traffic(small_dataset)}
+    assert "Untrusted_IP base rate" in names
+    assert "ATO base rate" in names
+    assert "unique fingerprint share" in names
+    assert "fingerprints in anonymity sets > 50" in names
+
+
+def test_audit_rejects_tiny_datasets(small_dataset):
+    import numpy as np
+
+    with pytest.raises(ValueError):
+        audit_traffic(small_dataset.subset(np.arange(100)))

@@ -1,0 +1,73 @@
+"""CLI end-to-end tests (via the in-process entry point)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """A dataset and a trained model produced through the CLI itself."""
+    root = tmp_path_factory.mktemp("cli")
+    dataset_path = str(root / "traffic.npz")
+    model_path = str(root / "model.json")
+    assert main(["simulate", dataset_path, "--sessions", "6000", "--seed", "3"]) == 0
+    assert main(["train", model_path, "--dataset", dataset_path]) == 0
+    return dataset_path, model_path
+
+
+def test_simulate_writes_loadable_dataset(artifacts):
+    from repro.traffic.dataset import Dataset
+
+    dataset_path, _ = artifacts
+    dataset = Dataset.load(dataset_path)
+    assert len(dataset) == 6000
+
+
+def test_train_writes_model_json(artifacts):
+    _, model_path = artifacts
+    document = json.loads(open(model_path).read())
+    assert document["format_version"] == 1
+    assert len(document["kmeans"]["centers"]) == 11
+    assert document["accuracy"] > 0.97
+
+
+def test_detect_runs(artifacts, capsys):
+    dataset_path, model_path = artifacts
+    assert main(["detect", model_path, dataset_path]) == 0
+    out = capsys.readouterr().out
+    assert "flagged" in out
+
+
+def test_drift_runs(artifacts, capsys):
+    dataset_path, model_path = artifacts
+    assert main(["drift", model_path, dataset_path]) == 0
+    out = capsys.readouterr().out
+    assert "retraining needed" in out
+
+
+def test_experiment_table2(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SESSIONS", "6000")
+    assert main(["experiment", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Browser Polygraph" in out and "AmIUnique" in out
+
+
+def test_figures_command(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SESSIONS", "6000")
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    for needle in ("Figure 2", "Figure 3", "Figure 4", "Figure 5"):
+        assert needle in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "table99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,87 @@
+"""Algorithm 1 (risk factor) tests."""
+
+import pytest
+
+from repro.browsers.useragent import Vendor, format_user_agent, parse_ua_key
+from repro.core.risk import risk_factor, user_agent_distance
+
+
+class TestDistance:
+    def test_vendor_mismatch_is_maximum(self):
+        assert user_agent_distance("chrome-112", "firefox-112") == 20
+
+    def test_same_release_is_zero(self):
+        assert user_agent_distance("chrome-112", "chrome-112") == 0
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("chrome-112", "chrome-113", 0),   # floor(1/4)
+            ("chrome-112", "chrome-115", 0),   # floor(3/4)
+            ("chrome-112", "chrome-116", 1),   # floor(4/4)
+            ("chrome-112", "chrome-119", 1),   # floor(7/4)
+            ("chrome-112", "chrome-120", 2),   # floor(8/4)
+            ("chrome-59", "chrome-114", 13),   # floor(55/4)
+        ],
+    )
+    def test_version_distance_divided_by_four(self, a, b, expected):
+        assert user_agent_distance(a, b) == expected
+
+    def test_distance_is_symmetric(self):
+        assert user_agent_distance("chrome-100", "chrome-60") == user_agent_distance(
+            "chrome-60", "chrome-100"
+        )
+
+    def test_custom_constants(self):
+        assert user_agent_distance("chrome-1", "firefox-1", vendor_mismatch=99) == 99
+        assert user_agent_distance("chrome-10", "chrome-20", version_divisor=10) == 1
+
+    def test_accepts_full_ua_strings(self):
+        raw_a = format_user_agent(Vendor.CHROME, 112)
+        raw_b = format_user_agent(Vendor.CHROME, 120)
+        assert user_agent_distance(raw_a, raw_b) == 2
+
+    def test_accepts_parsed_objects(self):
+        a = parse_ua_key("edge-110")
+        b = parse_ua_key("edge-114")
+        assert user_agent_distance(a, b) == 1
+
+    def test_edge_and_chrome_are_distinct_vendors(self):
+        # Algorithm 1 treats Edge and Chrome as different vendors even
+        # though they share the Chromium engine.
+        assert user_agent_distance("chrome-112", "edge-112") == 20
+
+
+class TestRiskFactor:
+    def test_minimum_over_cluster(self):
+        cluster = ["chrome-110", "chrome-111", "chrome-112", "edge-110"]
+        assert risk_factor("chrome-109", cluster) == 0
+
+    def test_vendor_mismatch_cluster(self):
+        cluster = ["firefox-101", "firefox-114"]
+        assert risk_factor("chrome-112", cluster) == 20
+
+    def test_mixed_cluster_prefers_same_vendor(self):
+        # Paper cluster 2 shape: old Chrome and old Firefox together.
+        cluster = ["chrome-59", "chrome-68", "firefox-51", "firefox-91"]
+        assert risk_factor("chrome-80", cluster) == 3  # floor(12/4)
+        assert risk_factor("firefox-95", cluster) == 1  # floor(4/4)
+
+    def test_empty_cluster_maps_to_maximum(self):
+        assert risk_factor("chrome-112", []) == 20
+
+    def test_early_exit_on_zero(self):
+        cluster = ["chrome-112"] + ["firefox-1"] * 1000
+        assert risk_factor("chrome-112", cluster) == 0
+
+    def test_custom_constants_flow_through(self):
+        assert risk_factor("chrome-1", ["firefox-1"], vendor_mismatch=7) == 7
+        assert risk_factor("chrome-10", ["chrome-30"], version_divisor=5) == 4
+
+    def test_sphere_explanation_from_paper(self):
+        # Sphere 1.3 emulates Chrome 61 (cluster 2).  A profile claiming
+        # Firefox 60 is NOT caught because Firefox 51-91 shares cluster 2.
+        cluster2 = [f"chrome-{v}" for v in range(59, 69)] + [
+            f"firefox-{v}" for v in range(51, 92)
+        ]
+        assert risk_factor("firefox-60", cluster2) == 0

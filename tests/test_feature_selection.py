@@ -1,0 +1,123 @@
+"""Section 6.3 feature-selection tests (513 candidates -> 28 features)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_selection import config_sensitivity, select_features
+from repro.fingerprint.candidates import generate_candidates
+from repro.fingerprint.features import FEATURE_SPECS
+from repro.jsengine.evolution import (
+    CANONICAL_TIME_PROPERTIES,
+    CONFIG_SENSITIVE_INTERFACES,
+    PRIMARY_INTERFACES,
+)
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    return generate_candidates()
+
+
+@pytest.fixture(scope="module")
+def candidate_traffic(candidates):
+    config = TrafficConfig(seed=5).scaled(8_000)
+    return TrafficSimulator(config, specs=candidates.all_specs).generate()
+
+
+@pytest.fixture(scope="module")
+def report(candidates, candidate_traffic):
+    return select_features(candidate_traffic.matrix(), candidates.all_specs)
+
+
+class TestConfigSensitivity:
+    def test_service_worker_family_fully_zeroable(self, candidates):
+        sensitivity = config_sensitivity(candidates.all_specs)
+        assert sensitivity["dev:ServiceWorkerContainer"] == pytest.approx(1.0)
+        assert sensitivity["dev:RTCPeerConnection"] == pytest.approx(1.0)
+
+    def test_element_only_marginally_affected(self, candidates):
+        sensitivity = config_sensitivity(candidates.all_specs)
+        assert sensitivity["dev:Element"] < 0.1
+
+    def test_always_present_time_features_unaffected(self, candidates):
+        # Time-based properties that every engine ships from version 1
+        # cannot be disturbed by configuration downgrades.
+        sensitivity = config_sensitivity(candidates.all_specs)
+        model_props = {
+            f"time:{p.key()}": p
+            for p in __import__("repro.jsengine.evolution", fromlist=["x"]).default_model().time_properties
+        }
+        checked = 0
+        for key, named in model_props.items():
+            if named.chromium_from == 1 and named.gecko_from == 1:
+                assert sensitivity.get(key, 0.0) == 0.0
+                checked += 1
+        assert checked > 50
+
+
+class TestSelection:
+    def test_recovers_exactly_28_features(self, report):
+        assert report.n_selected == 28
+
+    def test_recovers_the_table8_deviation_set(self, report):
+        deviation = {s.interface for s in report.selected if s.kind == "deviation"}
+        assert deviation == set(PRIMARY_INTERFACES)
+
+    def test_recovers_the_six_canonical_time_features(self, report):
+        time_keys = {
+            f"{s.interface}.{s.prop}" for s in report.selected if s.kind == "time"
+        }
+        assert time_keys == {p.key() for p in CANONICAL_TIME_PROPERTIES}
+
+    def test_config_sensitive_candidates_excluded(self, report):
+        dropped = set(report.dropped_config_sensitive)
+        for iface in ("ServiceWorker", "RTCPeerConnection", "Navigator"):
+            if f"dev:{iface}" in dropped:
+                continue
+            # Navigator may instead fall out by low deviation; it must
+            # not be selected either way.
+            assert iface not in {s.interface for s in report.selected}
+
+    def test_constant_features_dropped(self, report):
+        # Most of the BrowserPrint time-based set is constant in modern
+        # traffic (the paper's 186 single-value observation).
+        assert len(report.dropped_constant) > 100
+
+    def test_ranking_covers_beyond_the_selection(self, report):
+        assert len(report.deviation_ranking) > 22
+        stds = [std for _, std in report.deviation_ranking]
+        assert stds == sorted(stds, reverse=True)
+
+    def test_selected_indices_align_with_specs(self, candidates, report):
+        for spec, idx in zip(report.selected, report.selected_indices):
+            assert candidates.all_specs[idx].key() == spec.key()
+
+    def test_selected_order_matches_canonical_28(self, report):
+        # Deviation features first, then time-based — same shape as the
+        # canonical FEATURE_SPECS ordering.
+        kinds = [s.kind for s in report.selected]
+        assert kinds == ["deviation"] * 22 + ["time"] * 6
+
+    def test_misaligned_matrix_rejected(self, candidates):
+        with pytest.raises(ValueError):
+            select_features(np.zeros((10, 5)), candidates.all_specs)
+
+
+class TestEndToEndEquivalence:
+    def test_selected_columns_reproduce_final_features(
+        self, candidates, candidate_traffic, report
+    ):
+        """Projecting the candidate matrix onto the selected columns must
+        equal collecting the canonical 28 features directly."""
+        canonical_keys = [s.key() for s in FEATURE_SPECS]
+        selected_keys = [s.key() for s in report.selected]
+        assert set(selected_keys) == set(canonical_keys)
+
+        reorder = [selected_keys.index(k) for k in canonical_keys]
+        projected = candidate_traffic.features[:, report.selected_indices][:, reorder]
+
+        final = TrafficSimulator(
+            TrafficConfig(seed=5).scaled(8_000)
+        ).generate()
+        assert np.array_equal(projected, final.features)

@@ -1,0 +1,100 @@
+"""Stolen-profile marketplace and attack-campaign tests."""
+
+from datetime import date
+
+import pytest
+
+from repro.fraudbrowsers.catalog import fraud_browser
+from repro.fraudbrowsers.marketplace import AttackCampaign, Marketplace
+
+
+@pytest.fixture()
+def market(small_dataset):
+    market = Marketplace(seed=13)
+    market.harvest_from_traffic(small_dataset, infection_rate=0.02)
+    return market
+
+
+class TestMarketplace:
+    def test_harvest_size_matches_infection_rate(self, small_dataset, market):
+        assert market.stock == round(0.02 * len(small_dataset))
+
+    def test_listings_carry_victim_identity(self, small_dataset, market):
+        listing = market.inventory[0]
+        assert listing.victim_session_id.startswith("sess-")
+        assert listing.user_agent.version > 0
+        assert listing.price_usd > 0
+
+    def test_inventory_sorted_oldest_first(self, market):
+        dates = [p.harvested_on for p in market.inventory]
+        assert dates == sorted(dates)
+
+    def test_buy_depletes_stock_oldest_first(self, market):
+        before = market.stock
+        bought = market.buy(10)
+        assert len(bought) == 10
+        assert market.stock == before - 10
+        assert market.sold_count == 10
+        assert all(
+            b.harvested_on <= market.inventory[0].harvested_on for b in bought
+        )
+
+    def test_buy_more_than_stock(self, market):
+        bought = market.buy(market.stock + 50)
+        assert market.stock == 0
+        assert len(bought) > 0
+
+    def test_average_age(self, market):
+        age = market.average_age_days(date(2023, 9, 1))
+        assert age > 30  # the window ended July 1
+
+    def test_harvest_deterministic(self, small_dataset):
+        a = Marketplace(seed=5)
+        a.harvest_from_traffic(small_dataset, infection_rate=0.01)
+        b = Marketplace(seed=5)
+        b.harvest_from_traffic(small_dataset, infection_rate=0.01)
+        assert [p.victim_session_id for p in a.inventory] == [
+            p.victim_session_id for p in b.inventory
+        ]
+
+    def test_invalid_rate_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            Marketplace().harvest_from_traffic(small_dataset, infection_rate=0.0)
+
+    def test_invalid_buy_rejected(self, market):
+        with pytest.raises(ValueError):
+            market.buy(0)
+
+
+class TestAttackCampaign:
+    def test_sessions_claim_victim_user_agents(self, market):
+        campaign = AttackCampaign(fraud_browser("GoLogin-3.3.23"), market, seed=1)
+        sessions = campaign.run(8)
+        assert len(sessions) == 8
+        for attack in sessions:
+            assert attack.payload.user_agent == attack.victim.user_agent.raw
+            assert len(attack.payload.values) == 28
+
+    def test_category2_attacks_mostly_caught(self, trained, market):
+        campaign = AttackCampaign(fraud_browser("GoLogin-3.3.23"), market, seed=2)
+        sessions = campaign.run(20)
+        flagged = sum(
+            trained.detect_payload(a.payload).flagged for a in sessions
+        )
+        assert flagged / len(sessions) > 0.6
+
+    def test_antbrowser_attacks_carry_markers(self, market):
+        campaign = AttackCampaign(fraud_browser("AntBrowser-2023.05"), market, seed=3)
+        sessions = campaign.run(3)
+        for attack in sessions:
+            assert "ANTBROWSER" in attack.payload.suspicious_globals
+
+    def test_campaign_consumes_marketplace_stock(self, market):
+        stock = market.stock
+        AttackCampaign(fraud_browser("Octo Browser-1.10"), market, seed=4).run(12)
+        assert market.stock == stock - 12
+
+    def test_invalid_attack_count_rejected(self, market):
+        campaign = AttackCampaign(fraud_browser("GoLogin-3.3.23"), market)
+        with pytest.raises(ValueError):
+            campaign.run(0)

@@ -1,0 +1,76 @@
+"""Member-name generation and dataset replay tests."""
+
+import numpy as np
+import pytest
+
+from repro.jsengine.membernames import member_names
+from repro.fingerprint.script import FingerprintPayload
+from repro.traffic.replay import iter_payloads, iter_wire_payloads
+
+
+class TestMemberNames:
+    def test_exact_count(self):
+        for count in (0, 1, 20, 120, 400):
+            assert len(member_names("Element", count)) == count
+
+    def test_unique_within_interface(self):
+        names = member_names("Document", 350)
+        assert len(set(names)) == 350
+
+    def test_prefix_stability(self):
+        short = member_names("Range", 40)
+        long = member_names("Range", 90)
+        assert long[:40] == short
+
+    def test_deterministic(self):
+        assert member_names("AudioContext", 30) == member_names("AudioContext", 30)
+
+    def test_domains_differ(self):
+        element = set(member_names("Element", 60))
+        canvas = set(member_names("CanvasRenderingContext2D", 60))
+        # Different word stock: the method tails diverge.
+        assert element != canvas
+
+    def test_names_look_like_js_members(self):
+        for name in member_names("HTMLVideoElement", 80):
+            assert name[0].islower()
+            assert " " not in name
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            member_names("Element", -1)
+
+    def test_large_counts_supported(self):
+        names = member_names("Selection", 900)
+        assert len(set(names)) == 900
+
+
+class TestReplay:
+    def test_payloads_match_dataset(self, small_dataset):
+        payloads = list(iter_payloads(small_dataset, limit=50))
+        assert len(payloads) == 50
+        for idx, payload in enumerate(payloads):
+            assert payload.session_id == str(small_dataset.session_ids[idx])
+            assert payload.values == tuple(
+                int(v) for v in small_dataset.features[idx]
+            )
+
+    def test_wire_roundtrip(self, small_dataset):
+        wire = next(iter_wire_payloads(small_dataset, limit=1))
+        parsed = FingerprintPayload.from_wire(wire)
+        assert parsed.session_id == str(small_dataset.session_ids[0])
+
+    def test_limit_defaults_to_everything(self, small_dataset):
+        count = sum(1 for _ in iter_payloads(small_dataset))
+        assert count == len(small_dataset)
+
+    def test_offline_and_online_verdicts_agree(self, trained, small_dataset):
+        from repro.service.scoring import ScoringService
+
+        subset = small_dataset.subset(np.arange(300))
+        offline = trained.detect(subset)
+        service = ScoringService(trained)
+        for idx, wire in enumerate(iter_wire_payloads(subset)):
+            verdict = service.score_wire(wire)
+            assert verdict.accepted
+            assert verdict.flagged == bool(offline.flagged[idx])

@@ -1,0 +1,71 @@
+"""Elbow analysis unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.elbow import ElbowResult, elbow_analysis, relative_wcss_gain, select_k_elbow
+
+
+def _grid_blobs(rng, n_centers=6, n_per=80):
+    centers = [(10.0 * (i % 3), 10.0 * (i // 3)) for i in range(n_centers)]
+    return np.vstack(
+        [c + rng.normal(0.0, 0.3, size=(n_per, 2)) for c in centers]
+    )
+
+
+def test_wcss_curve_is_nonincreasing(rng):
+    data = _grid_blobs(rng)
+    result = elbow_analysis(data, range(2, 10), random_state=0)
+    assert all(a >= b - 1e-6 for a, b in zip(result.wcss, result.wcss[1:]))
+
+
+def test_relative_gain_first_entry_zero():
+    assert relative_wcss_gain([100.0, 50.0])[0] == 0.0
+
+
+def test_relative_gain_values():
+    gains = relative_wcss_gain([100.0, 50.0, 45.0])
+    assert gains[1] == pytest.approx(0.5)
+    assert gains[2] == pytest.approx(0.1)
+
+
+def test_relative_gain_handles_zero_wcss():
+    gains = relative_wcss_gain([10.0, 0.0, 0.0])
+    assert gains == [0.0, 1.0, 0.0]
+
+
+def test_elbow_found_at_true_center_count(rng):
+    data = _grid_blobs(rng, n_centers=6)
+    result = elbow_analysis(data, range(2, 12), n_init=4, random_state=3)
+    chosen = select_k_elbow(result, min_k=3)
+    assert chosen == 6
+
+
+def test_ks_are_sorted_and_deduplicated(rng):
+    data = _grid_blobs(rng)
+    result = elbow_analysis(data, [5, 3, 3, 7], random_state=0)
+    assert result.ks == [3, 5, 7]
+
+
+def test_as_rows_zips_all_series(rng):
+    data = _grid_blobs(rng)
+    result = elbow_analysis(data, [2, 3], random_state=0)
+    rows = result.as_rows()
+    assert len(rows) == 2
+    assert rows[0][0] == 2 and len(rows[0]) == 3
+
+
+def test_empty_ks_rejected(rng):
+    with pytest.raises(ValueError):
+        elbow_analysis(_grid_blobs(rng), [])
+
+
+def test_invalid_k_rejected(rng):
+    with pytest.raises(ValueError):
+        elbow_analysis(_grid_blobs(rng), [0, 2])
+
+
+def test_select_k_requires_candidates():
+    result = ElbowResult(ks=[2], wcss=[10.0], relative_gain=[0.0])
+    with pytest.raises(ValueError, match="no candidate"):
+        select_k_elbow(result, min_k=5)

@@ -1,0 +1,106 @@
+"""Isolation Forest unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.isolation_forest import IsolationForest, average_path_length
+
+
+def _data_with_outliers(rng, n_inliers=2000, n_outliers=5):
+    inliers = rng.normal(0.0, 1.0, size=(n_inliers, 4))
+    outliers = rng.uniform(15.0, 25.0, size=(n_outliers, 4))
+    return np.vstack([inliers, outliers]), n_inliers
+
+
+def test_outliers_score_higher(rng):
+    data, n_inliers = _data_with_outliers(rng)
+    forest = IsolationForest(random_state=0).fit(data)
+    scores = forest.score_samples(data)
+    assert scores[n_inliers:].min() > scores[:n_inliers].mean()
+
+
+def test_top_scores_are_the_planted_outliers(rng):
+    data, n_inliers = _data_with_outliers(rng)
+    forest = IsolationForest(random_state=0).fit(data)
+    scores = forest.score_samples(data)
+    top5 = set(np.argsort(scores)[-5:])
+    assert top5 == set(range(n_inliers, n_inliers + 5))
+
+
+def test_fit_mask_respects_contamination_budget(rng):
+    data, _ = _data_with_outliers(rng)
+    forest = IsolationForest(contamination=0.002, random_state=0).fit(data)
+    n_removed = int((~forest.fit_inlier_mask_).sum())
+    assert n_removed == max(1, round(0.002 * data.shape[0]))
+
+
+def test_fit_mask_caps_duplicate_ties(rng):
+    # 100 identical isolated rows must not all be swept out when the
+    # contamination budget is 2 rows (the EdgeHTML regression).
+    inliers = rng.normal(0.0, 0.5, size=(1000, 3))
+    duplicates = np.tile(np.array([[30.0, 30.0, 30.0]]), (100, 1))
+    data = np.vstack([inliers, duplicates])
+    forest = IsolationForest(contamination=0.002, random_state=0).fit(data)
+    assert int((~forest.fit_inlier_mask_).sum()) == 2
+
+
+def test_scores_within_unit_interval(rng):
+    data, _ = _data_with_outliers(rng)
+    forest = IsolationForest(random_state=0).fit(data)
+    scores = forest.score_samples(data)
+    assert float(scores.min()) > 0.0
+    assert float(scores.max()) < 1.0
+
+
+def test_predict_flags_new_extreme_point(rng):
+    data, _ = _data_with_outliers(rng)
+    forest = IsolationForest(contamination=0.002, random_state=0).fit(data)
+    verdict = forest.predict(np.array([[50.0, 50.0, 50.0, 50.0]]))
+    assert verdict[0] == -1
+
+
+def test_predict_accepts_typical_point(rng):
+    data, _ = _data_with_outliers(rng)
+    forest = IsolationForest(contamination=0.002, random_state=0).fit(data)
+    verdict = forest.predict(np.array([[0.1, -0.2, 0.0, 0.3]]))
+    assert verdict[0] == 1
+
+
+def test_deterministic_given_seed(rng):
+    data, _ = _data_with_outliers(rng)
+    a = IsolationForest(random_state=7).fit(data).score_samples(data)
+    b = IsolationForest(random_state=7).fit(data).score_samples(data)
+    assert np.allclose(a, b)
+
+
+def test_average_path_length_values():
+    assert average_path_length(np.array([1.0]))[0] == 0.0
+    assert average_path_length(np.array([2.0]))[0] == 1.0
+    # c(n) grows logarithmically.
+    big = average_path_length(np.array([256.0]))[0]
+    assert 9.0 < big < 12.0
+
+
+def test_average_path_length_monotone():
+    values = average_path_length(np.arange(2.0, 100.0))
+    assert np.all(np.diff(values) > 0.0)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        IsolationForest(n_estimators=0)
+    with pytest.raises(ValueError):
+        IsolationForest(max_samples=1)
+    with pytest.raises(ValueError):
+        IsolationForest(contamination=0.7)
+
+
+def test_score_before_fit_rejected():
+    with pytest.raises(RuntimeError, match="not fitted"):
+        IsolationForest().score_samples(np.zeros((2, 2)))
+
+
+def test_subsample_clamped_to_dataset(rng):
+    data = rng.normal(size=(50, 2))
+    forest = IsolationForest(max_samples=256, random_state=0).fit(data)
+    assert forest.subsample_size_ == 50

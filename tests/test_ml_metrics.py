@@ -1,0 +1,117 @@
+"""Clustering / entropy / anonymity metric tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    anonymity_set_sizes,
+    anonymity_survey,
+    majority_cluster_accuracy,
+    majority_cluster_map,
+    normalized_shannon_entropy,
+    shannon_entropy,
+    silhouette_samples_mean,
+)
+
+
+class TestMajorityCluster:
+    def test_perfect_assignment(self):
+        labels = ["a", "a", "b", "b"]
+        clusters = [0, 0, 1, 1]
+        assert majority_cluster_accuracy(labels, clusters) == 1.0
+        assert majority_cluster_map(labels, clusters) == {"a": 0, "b": 1}
+
+    def test_minority_rows_count_as_misclustered(self):
+        labels = ["a"] * 10
+        clusters = [0] * 9 + [1]
+        assert majority_cluster_accuracy(labels, clusters) == pytest.approx(0.9)
+
+    def test_two_labels_may_share_a_cluster(self):
+        # The paper's Table 3 groups several user-agents per cluster; that
+        # is NOT a misclustering under Formula 1.
+        labels = ["chrome-59", "chrome-60", "firefox-51"]
+        clusters = [2, 2, 2]
+        assert majority_cluster_accuracy(labels, clusters) == 1.0
+
+    def test_tie_breaks_toward_smaller_cluster_id(self):
+        mapping = majority_cluster_map(["a", "a"], [1, 0])
+        assert mapping["a"] == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            majority_cluster_map(["a"], [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_cluster_accuracy([], [])
+
+
+class TestEntropy:
+    def test_uniform_distribution(self):
+        values = ["a", "b", "c", "d"]
+        assert shannon_entropy(values) == pytest.approx(2.0)
+
+    def test_constant_distribution(self):
+        assert shannon_entropy(["x"] * 50) == pytest.approx(0.0)
+
+    def test_biased_coin(self):
+        values = ["h"] * 75 + ["t"] * 25
+        expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+        assert shannon_entropy(values) == pytest.approx(expected)
+
+    def test_normalized_bounds(self):
+        values = list(range(100))
+        normalized = normalized_shannon_entropy(values)
+        assert normalized == pytest.approx(1.0)
+        assert normalized_shannon_entropy(["x"] * 100) == pytest.approx(0.0)
+
+    def test_normalized_with_explicit_total(self):
+        values = ["a", "b"] * 50
+        assert normalized_shannon_entropy(values, total=4) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_entropy([])
+
+
+class TestAnonymity:
+    def test_set_sizes(self):
+        fingerprints = [(1,), (1,), (2,), (3,), (3,), (3,)]
+        assert anonymity_set_sizes(fingerprints) == [2, 2, 1, 3, 3, 3]
+
+    def test_survey_percentages_sum_to_100(self):
+        fingerprints = [(i % 3,) for i in range(90)] + [(99,)]
+        survey = anonymity_survey(fingerprints, buckets=((1, 1), (2, 10**9)))
+        assert sum(survey.values()) == pytest.approx(100.0)
+
+    def test_survey_unique_share(self):
+        fingerprints = [(0,)] * 99 + [(1,)]
+        survey = anonymity_survey(fingerprints, buckets=((1, 1), (2, 10**9)))
+        assert survey["1"] == pytest.approx(1.0)
+
+    def test_survey_empty_rejected(self):
+        with pytest.raises(ValueError):
+            anonymity_survey([])
+
+
+class TestSilhouette:
+    def test_separated_blobs_score_high(self, rng):
+        data = np.vstack(
+            [
+                rng.normal(0.0, 0.2, size=(50, 2)),
+                rng.normal(10.0, 0.2, size=(50, 2)),
+            ]
+        )
+        clusters = [0] * 50 + [1] * 50
+        assert silhouette_samples_mean(data, clusters) > 0.9
+
+    def test_random_labels_score_low(self, rng):
+        data = rng.normal(size=(100, 2))
+        clusters = rng.integers(0, 2, size=100)
+        assert silhouette_samples_mean(data, clusters) < 0.2
+
+    def test_single_cluster_rejected(self, rng):
+        with pytest.raises(ValueError):
+            silhouette_samples_mean(rng.normal(size=(10, 2)), [0] * 10)

@@ -1,0 +1,118 @@
+"""Retraining orchestrator and model registry tests."""
+
+from datetime import date
+
+import pytest
+
+from repro.core.retraining import ModelRegistry, RetrainingOrchestrator
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+
+
+@pytest.fixture(scope="module")
+def autumn():
+    config = TrafficConfig(
+        start=date(2023, 7, 20), end=date(2023, 11, 10), seed=31
+    ).scaled(20_000)
+    return TrafficSimulator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def quiet_window():
+    config = TrafficConfig(
+        start=date(2023, 7, 20), end=date(2023, 9, 10), seed=41
+    ).scaled(10_000)
+    return TrafficSimulator(config).generate()
+
+
+class TestModelRegistry:
+    def test_promote_and_load_roundtrip(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        version = registry.promote(trained, date(2023, 7, 1), "bootstrap")
+        assert version == 1
+        loaded = registry.load()
+        assert loaded.cluster_table == trained.cluster_table
+
+    def test_versions_increment(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "first")
+        registry.promote(trained, date(2023, 8, 1), "second")
+        assert registry.latest_version == 2
+        assert [v["version"] for v in registry.versions()] == [1, 2]
+        assert registry.versions()[1]["reason"] == "second"
+
+    def test_load_specific_version(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "first")
+        assert registry.load(version=1).accuracy == pytest.approx(trained.accuracy)
+
+    def test_empty_registry_rejected(self, tmp_path):
+        with pytest.raises(LookupError):
+            ModelRegistry(tmp_path).load()
+
+    def test_unknown_version_rejected(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "first")
+        with pytest.raises(LookupError):
+            registry.load(version=9)
+
+
+class TestOrchestrator:
+    def test_bootstrap_promotes_v1(self, small_dataset, tmp_path):
+        orchestrator = RetrainingOrchestrator(ModelRegistry(tmp_path))
+        polygraph = orchestrator.bootstrap(small_dataset, date(2023, 7, 1))
+        assert polygraph.accuracy > 0.985
+        assert orchestrator.registry.latest_version == 1
+
+    def test_quiet_window_does_not_retrain(
+        self, small_dataset, quiet_window, tmp_path
+    ):
+        orchestrator = RetrainingOrchestrator(ModelRegistry(tmp_path))
+        orchestrator.bootstrap(small_dataset, date(2023, 7, 1))
+        outcome = orchestrator.scheduled_check(quiet_window, date(2023, 9, 12))
+        assert not outcome.drift_detected
+        assert not outcome.retrained
+        assert orchestrator.registry.latest_version == 1
+
+    def test_autumn_drift_triggers_verified_promotion(
+        self, small_dataset, autumn, tmp_path
+    ):
+        orchestrator = RetrainingOrchestrator(ModelRegistry(tmp_path))
+        orchestrator.bootstrap(small_dataset, date(2023, 7, 1))
+        outcome = orchestrator.scheduled_check(autumn, date(2023, 11, 5))
+        assert outcome.drift_detected and outcome.retrained and outcome.promoted
+        assert orchestrator.registry.latest_version == 2
+        # The promoted model knows the drifted releases.
+        assert (
+            orchestrator.current.cluster_model.expected_cluster("firefox-119")
+            is not None
+        )
+        # And a repeat check on the same window is quiet.
+        repeat = orchestrator.scheduled_check(autumn, date(2023, 11, 6))
+        assert not repeat.drift_detected
+
+    def test_window_cap_slides(self, small_dataset, autumn, tmp_path):
+        cap = len(small_dataset)
+        orchestrator = RetrainingOrchestrator(
+            ModelRegistry(tmp_path), max_window_sessions=cap
+        )
+        orchestrator.bootstrap(small_dataset, date(2023, 7, 1))
+        orchestrator.scheduled_check(autumn, date(2023, 11, 5))
+        assert len(orchestrator.window) <= cap
+
+    def test_check_before_bootstrap_rejected(self, quiet_window, tmp_path):
+        orchestrator = RetrainingOrchestrator(ModelRegistry(tmp_path))
+        with pytest.raises(RuntimeError):
+            orchestrator.scheduled_check(quiet_window, date(2023, 9, 1))
+
+    def test_invalid_floor_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RetrainingOrchestrator(ModelRegistry(tmp_path), accuracy_floor=1.5)
+
+    def test_history_records_every_check(
+        self, small_dataset, quiet_window, tmp_path
+    ):
+        orchestrator = RetrainingOrchestrator(ModelRegistry(tmp_path))
+        orchestrator.bootstrap(small_dataset, date(2023, 7, 1))
+        orchestrator.scheduled_check(quiet_window, date(2023, 9, 12))
+        assert len(orchestrator.history) == 1
+        assert orchestrator.history[0].check_date == date(2023, 9, 12)

@@ -1,0 +1,61 @@
+"""Traffic time-series tests."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.timeseries import adoption_curve, daily_flag_rate, daily_volume
+
+
+class TestDailyVolume:
+    def test_totals_match_dataset(self, small_dataset):
+        volume = daily_volume(small_dataset)
+        assert sum(count for _, count in volume) == len(small_dataset)
+
+    def test_days_sorted(self, small_dataset):
+        days = [day for day, _ in daily_volume(small_dataset)]
+        assert days == sorted(days)
+
+    def test_window_covered(self, small_dataset):
+        volume = daily_volume(small_dataset)
+        assert volume[0][0].startswith("2023-03")
+        assert volume[-1][0].startswith("2023-06")
+
+
+class TestDailyFlagRate:
+    def test_rates_bounded_and_aligned(self, trained, small_dataset):
+        report = trained.detect(small_dataset)
+        series = daily_flag_rate(small_dataset, report)
+        assert sum(total for _, _, total in series) == len(small_dataset)
+        assert all(0.0 <= rate <= 1.0 for _, rate, _ in series)
+
+    def test_overall_rate_recovered(self, trained, small_dataset):
+        report = trained.detect(small_dataset)
+        series = daily_flag_rate(small_dataset, report)
+        weighted = sum(rate * total for _, rate, total in series)
+        assert weighted == pytest.approx(report.n_flagged)
+
+    def test_mismatched_report_rejected(self, trained, small_dataset):
+        report = trained.detect(small_dataset.subset(np.arange(100)))
+        with pytest.raises(ValueError):
+            daily_flag_rate(small_dataset, report)
+
+
+class TestAdoptionCurve:
+    def test_new_release_ramps_up(self, small_dataset):
+        # Chrome 112 shipped inside the window: its share starts near
+        # zero and ramps to dominance.
+        curve = adoption_curve(small_dataset, "chrome-112")
+        assert len(curve) > 10
+        early = np.mean([share for _, share in curve[:5]])
+        late = np.mean([share for _, share in curve[-5:]])
+        assert late < early  # superseded by 113/114 late in the window
+        peak = max(share for _, share in curve)
+        assert peak > 0.10
+
+    def test_window_days_limits_curve(self, small_dataset):
+        curve = adoption_curve(small_dataset, "chrome-113", window_days=10)
+        assert len(curve) <= 10
+
+    def test_unknown_release_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            adoption_curve(small_dataset, "chrome-999")
