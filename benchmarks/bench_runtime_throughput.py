@@ -1,0 +1,80 @@
+"""Throughput of the high-throughput scoring runtime vs the baseline.
+
+Replays a synthetic FinOrg traffic window through the per-request
+:class:`ScoringService`, the micro-batched runtime, and the full
+batched+cached runtime, asserting the deployment claims:
+
+* batching and caching are *pure* optimizations — all three executions
+  produce identical ``(session_id, flagged, risk_factor)`` triples;
+* the verdict cache absorbs most of a production-shaped replay (the
+  paper's low-cardinality fingerprint argument, Section 7);
+* the batched+cached runtime clears >=5x the baseline's sessions/sec.
+
+Also runnable directly for a quick smoke pass (CI uses this mode)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py --sessions 2000
+"""
+
+import os
+import sys
+
+REPLAY = int(os.environ.get("REPRO_RUNTIME_REPLAY", "12000"))
+
+
+def test_runtime_throughput(benchmark):
+    from conftest import run_and_print
+    from repro.analysis.experiments import trained_pipeline, training_dataset
+    from repro.runtime.bench import run_throughput_benchmark
+
+    report = run_and_print(
+        benchmark,
+        run_throughput_benchmark,
+        n_sessions=REPLAY,
+        polygraph=trained_pipeline(),
+        dataset=training_dataset(),
+    )
+    assert report.identical_verdicts, "batching/caching changed a verdict"
+    assert report.shed_requests == 0
+    assert report.cache_hit_rate > 0.5
+    if REPLAY >= 10_000:
+        assert report.speedup_cached >= 5.0, (
+            f"batched+cached speedup {report.speedup_cached:.2f}x < 5x"
+        )
+
+
+def _main(argv):
+    import argparse
+
+    from repro.runtime.bench import run_throughput_benchmark
+
+    parser = argparse.ArgumentParser(
+        description="Smoke-run the runtime throughput benchmark"
+    )
+    parser.add_argument("--sessions", type=int, default=REPLAY)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail below this batched+cached speedup (0 = report only)",
+    )
+    args = parser.parse_args(argv)
+    report = run_throughput_benchmark(
+        n_sessions=args.sessions, seed=args.seed, concurrency=args.concurrency
+    )
+    print(report.render())
+    if not report.identical_verdicts:
+        print("FAIL: verdict triples differ between modes")
+        return 1
+    if report.speedup_cached < args.min_speedup:
+        print(
+            f"FAIL: speedup {report.speedup_cached:.2f}x "
+            f"< required {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

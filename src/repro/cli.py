@@ -6,7 +6,11 @@ Subcommands:
 * ``detect``      — load a model and evaluate a saved dataset;
 * ``drift``       — load a model and run the drift check on a window;
 * ``experiment``  — regenerate any paper table/figure by name;
-* ``simulate``    — generate and save a synthetic FinOrg dataset.
+* ``simulate``    — generate and save a synthetic FinOrg dataset;
+* ``serve``       — run the collection endpoint over a saved model
+  (``--runtime`` switches to the micro-batched scoring runtime);
+* ``bench-runtime`` — measure per-request vs batched vs cached
+  throughput of the online path.
 """
 
 from __future__ import annotations
@@ -90,6 +94,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="generate the paper-vs-measured EXPERIMENTS report"
     )
     report.add_argument("--output", help="write markdown here instead of stdout")
+
+    serve = sub.add_parser(
+        "serve", help="run the collection endpoint over a saved model"
+    )
+    serve.add_argument("model", help="model .json path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8040)
+    serve.add_argument(
+        "--runtime",
+        action="store_true",
+        help="use the micro-batched scoring runtime instead of the "
+        "per-request service",
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--batch-size", type=int, default=64)
+    serve.add_argument("--linger-ms", type=float, default=2.0)
+    serve.add_argument("--queue-capacity", type=int, default=4096)
+    serve.add_argument(
+        "--cache-entries", type=int, default=8192, help="0 disables the cache"
+    )
+    serve.add_argument("--cache-ttl", type=float, default=300.0)
+
+    bench = sub.add_parser(
+        "bench-runtime",
+        help="throughput of per-request vs batched vs cached scoring",
+    )
+    bench.add_argument("--sessions", type=int, default=12_000)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--concurrency", type=int, default=8)
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--batch-size", type=int, default=64)
+    bench.add_argument("--linger-ms", type=float, default=2.0)
+    bench.add_argument("--queue-capacity", type=int, default=4096)
+    bench.add_argument(
+        "--cache-entries", type=int, default=8192, help="0 disables the cache"
+    )
     return parser
 
 
@@ -182,6 +222,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _runtime_config(args: argparse.Namespace) -> "RuntimeConfig":
+    from repro.runtime.service import RuntimeConfig
+
+    return RuntimeConfig(
+        n_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_batch_size=args.batch_size,
+        max_linger_ms=args.linger_ms,
+        cache_entries=args.cache_entries,
+        cache_ttl_seconds=getattr(args, "cache_ttl", 300.0),
+    )
+
+
+def _build_service(pipeline: BrowserPolygraph, args: argparse.Namespace):
+    """The scoring service ``serve`` wraps — runtime or per-request."""
+    if args.runtime:
+        from repro.runtime.service import RuntimeScoringService
+
+        return RuntimeScoringService(pipeline, config=_runtime_config(args)).start()
+    from repro.service.scoring import ScoringService
+
+    return ScoringService(pipeline)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from wsgiref.simple_server import make_server
+
+    from repro.service.api import CollectionApp
+
+    pipeline = BrowserPolygraph.load(args.model)
+    service = _build_service(pipeline, args)
+    app = CollectionApp(service)
+    mode = "runtime (micro-batched)" if args.runtime else "per-request"
+    with make_server(args.host, args.port, app) as httpd:
+        print(
+            f"serving {mode} scoring on http://{args.host}:{args.port} "
+            f"(POST /collect, GET /health, GET /metrics)"
+        )
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            shutdown = getattr(service, "shutdown", None)
+            if shutdown is not None:
+                shutdown(drain=True)
+    return 0
+
+
+def _cmd_bench_runtime(args: argparse.Namespace) -> int:
+    from repro.runtime.bench import run_throughput_benchmark
+
+    report = run_throughput_benchmark(
+        n_sessions=args.sessions,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        config=_runtime_config(args),
+    )
+    print(report.render())
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = sorted(_EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -201,6 +303,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "figures": _cmd_figures,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "bench-runtime": _cmd_bench_runtime,
     }
     try:
         return handlers[args.command](args)

@@ -105,6 +105,39 @@ class FraudDetector:
         predicted = self.model.predict_cluster(np.asarray(vector))
         return self._decide(parsed, predicted)
 
+    def evaluate_vectors(
+        self, matrix: np.ndarray, user_agents: Sequence[str]
+    ) -> List[DetectionResult]:
+        """Evaluate many sessions in one vectorized model call.
+
+        ``matrix`` is an ``(n, n_features)`` array of raw feature rows
+        and ``user_agents`` the matching claimed user-agents (full
+        ``Mozilla/...`` strings or ``vendor-version`` keys).  The model
+        chain runs once on the whole matrix, and the per-session
+        decision is memoized on ``(user_agent, predicted cluster)`` —
+        coarse-grained fingerprints are low-cardinality by design, so a
+        large batch costs a handful of Algorithm 1 evaluations.
+
+        Row ``i`` of the return value is identical to
+        ``evaluate_vector(matrix[i], user_agents[i])``.
+        """
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+        if data.shape[0] != len(user_agents):
+            raise ValueError("matrix rows and user_agents must align")
+        predicted = self.model.predict_clusters(data)
+        memo: Dict = {}
+        results: List[DetectionResult] = []
+        for user_agent, cluster in zip(user_agents, predicted):
+            key = (user_agent, int(cluster))
+            result = memo.get(key)
+            if result is None:
+                result = self._decide(self._parse(str(user_agent)), key[1])
+                memo[key] = result
+            results.append(result)
+        return results
+
     def evaluate_dataset(self, dataset: Dataset) -> DetectionReport:
         """Evaluate every session of a dataset (vectorized prediction)."""
         predicted = self.model.predict_clusters(dataset.matrix())

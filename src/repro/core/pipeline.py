@@ -13,9 +13,10 @@ deployment runs it:
 
 from __future__ import annotations
 
+import threading
 from datetime import date
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +44,12 @@ class BrowserPolygraph:
         self.specs = tuple(specs)
         self.cluster_model: Optional[ClusterModel] = None
         self._detector: Optional[FraudDetector] = None
+        # Model swaps (fit/retrain/load) are atomic: the model, the
+        # detector and the generation counter move together under this
+        # lock, so a reader never observes a half-installed model.
+        self._swap_lock = threading.RLock()
+        self._generation = 0
+        self._retrain_listeners: List[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # training
@@ -56,8 +63,7 @@ class BrowserPolygraph:
             )
         model = ClusterModel(self.config, specs=self.specs)
         model.fit(dataset.matrix(), list(dataset.ua_keys), align_rare=align_rare)
-        self.cluster_model = model
-        self._detector = FraudDetector(model)
+        self._install_model(model)
         return self
 
     def retrain(self, dataset: Dataset, align_rare: bool = True) -> "BrowserPolygraph":
@@ -68,6 +74,40 @@ class BrowserPolygraph:
     def is_fitted(self) -> bool:
         """Whether :meth:`fit` has run."""
         return self.cluster_model is not None
+
+    @property
+    def model_generation(self) -> int:
+        """Monotonic counter bumped on every model install/swap."""
+        with self._swap_lock:
+            return self._generation
+
+    def add_retrain_listener(self, callback: Callable[[int], None]) -> None:
+        """Register ``callback(generation)`` to fire after model swaps.
+
+        The runtime's verdict cache subscribes here so a retrain (or a
+        drift-triggered swap) invalidates cached verdicts immediately.
+        Callbacks run outside the swap lock, after the new model is
+        fully installed.
+        """
+        with self._swap_lock:
+            self._retrain_listeners.append(callback)
+
+    def remove_retrain_listener(self, callback: Callable[[int], None]) -> None:
+        """Unregister a listener added with :meth:`add_retrain_listener`."""
+        with self._swap_lock:
+            if callback in self._retrain_listeners:
+                self._retrain_listeners.remove(callback)
+
+    def detection_snapshot(self) -> Tuple[int, FraudDetector]:
+        """A consistent ``(generation, detector)`` pair.
+
+        Callers scoring a batch must take one snapshot and use its
+        detector for the whole batch: a retrain mid-flight then cannot
+        score half the batch on the old model and half on the new one.
+        """
+        with self._swap_lock:
+            self._require_fitted()
+            return self._generation, self._detector
 
     @property
     def accuracy(self) -> float:
@@ -96,8 +136,27 @@ class BrowserPolygraph:
         self._require_fitted()
         return self._detector.evaluate_vector(np.asarray(features), user_agent)
 
-    def detect_payload(self, payload: FingerprintPayload) -> DetectionResult:
-        """Evaluate a wire payload produced by the collection script.
+    def detect_vectors(
+        self,
+        matrix: Union[np.ndarray, Sequence[Sequence[int]]],
+        user_agents: Sequence[str],
+    ) -> List[DetectionResult]:
+        """Evaluate many sessions in one vectorized model call.
+
+        The batch API behind the high-throughput runtime: one
+        scaler→PCA→KMeans pass over the ``(n, n_features)`` matrix
+        instead of ``n`` single-row calls.  Row ``i`` of the result is
+        identical to ``detect_session(matrix[i], user_agents[i])``, and
+        the whole batch is scored against one model snapshot even if a
+        retrain lands mid-call.
+        """
+        _, detector = self.detection_snapshot()
+        return detector.evaluate_vectors(np.asarray(matrix), user_agents)
+
+    def escalate_result(
+        self, result: DetectionResult, suspicious_globals: Sequence[str]
+    ) -> DetectionResult:
+        """Apply the Section 8 namespace-probe escalation to a verdict.
 
         With ``enable_namespace_probe`` set, a payload carrying
         fraud-browser namespace artifacts is escalated to the maximum
@@ -105,11 +164,7 @@ class BrowserPolygraph:
         claimed user-agent — catching sloppy wrapper builds (AntBrowser)
         whose engine coincidentally matches the spoofed release.
         """
-        result = self.detect_session(payload.vector(), payload.user_agent)
-        if (
-            self.config.enable_namespace_probe
-            and payload.suspicious_globals
-        ):
+        if self.config.enable_namespace_probe and suspicious_globals:
             return DetectionResult(
                 ua_key=result.ua_key,
                 predicted_cluster=result.predicted_cluster,
@@ -118,6 +173,11 @@ class BrowserPolygraph:
                 risk_factor=self.config.vendor_mismatch_risk,
             )
         return result
+
+    def detect_payload(self, payload: FingerprintPayload) -> DetectionResult:
+        """Evaluate a wire payload produced by the collection script."""
+        result = self.detect_session(payload.vector(), payload.user_agent)
+        return self.escalate_result(result, payload.suspicious_globals)
 
     # ------------------------------------------------------------------
     # drift
@@ -152,11 +212,22 @@ class BrowserPolygraph:
         """Restore a pipeline saved with :meth:`save`."""
         model = load_model(path)
         pipeline = cls(config=model.config, specs=model.specs)
-        pipeline.cluster_model = model
-        pipeline._detector = FraudDetector(model)
+        pipeline._install_model(model)
         return pipeline
 
     # ------------------------------------------------------------------
+
+    def _install_model(self, model: ClusterModel) -> None:
+        """Atomically swap in a fully-built model, then notify listeners."""
+        detector = FraudDetector(model)
+        with self._swap_lock:
+            self.cluster_model = model
+            self._detector = detector
+            self._generation += 1
+            generation = self._generation
+            listeners = tuple(self._retrain_listeners)
+        for callback in listeners:
+            callback(generation)
 
     def _require_fitted(self) -> None:
         if self.cluster_model is None:

@@ -1,0 +1,231 @@
+"""Throughput benchmark driver: per-request vs batched vs cached.
+
+Replays a synthetic FinOrg traffic window through three executions of
+the online path and measures sessions/sec plus p50/p99 latency:
+
+* ``per-request`` — the baseline :class:`ScoringService`, one
+  scaler→PCA→KMeans call per session;
+* ``batched`` — the runtime with the verdict cache disabled: every
+  session still reaches the model, but through coalesced
+  ``detect_vectors`` flushes;
+* ``batched+cached`` — the full runtime; repeat fingerprints skip the
+  model entirely.
+
+The driver also verifies the paper-grade correctness contract: all
+three executions must produce identical ``(session_id, flagged,
+risk_factor)`` triples, because batching and caching are pure
+optimizations.  Both the CLI (``browser-polygraph bench-runtime``) and
+``benchmarks/bench_runtime_throughput.py`` run through this module, so
+the numbers agree no matter how they are invoked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import render_table
+from repro.core.pipeline import BrowserPolygraph
+from repro.runtime.service import RuntimeConfig, RuntimeScoringService
+from repro.runtime.stats import percentile
+from repro.service.scoring import ScoringService, Verdict
+from repro.traffic.dataset import Dataset
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+from repro.traffic.replay import iter_payloads
+
+__all__ = ["BenchReport", "ModeResult", "run_throughput_benchmark"]
+
+Triple = Tuple[str, bool, Optional[int]]
+
+
+@dataclass(frozen=True)
+class ModeResult:
+    """Throughput and latency of one execution mode."""
+
+    mode: str
+    n_sessions: int
+    wall_seconds: float
+    sessions_per_second: float
+    p50_ms: float
+    p99_ms: float
+
+
+@dataclass
+class BenchReport:
+    """Everything one benchmark run measured."""
+
+    modes: List[ModeResult]
+    speedup_batched: float
+    speedup_cached: float
+    cache_hit_rate: float
+    mean_batch_size: float
+    identical_verdicts: bool
+    shed_requests: int
+
+    def render(self) -> str:
+        """Paper-style plain-text table plus the derived facts."""
+        table = render_table(
+            ["mode", "sessions", "wall s", "sessions/s", "p50 ms", "p99 ms"],
+            [
+                (
+                    m.mode,
+                    m.n_sessions,
+                    round(m.wall_seconds, 3),
+                    int(m.sessions_per_second),
+                    round(m.p50_ms, 3),
+                    round(m.p99_ms, 3),
+                )
+                for m in self.modes
+            ],
+            title="Runtime throughput: per-request vs batched vs cached",
+        )
+        lines = [
+            table,
+            "",
+            f"speedup (batched)        : {self.speedup_batched:.2f}x",
+            f"speedup (batched+cached) : {self.speedup_cached:.2f}x",
+            f"cache hit rate           : {100.0 * self.cache_hit_rate:.2f}%",
+            f"mean batch size          : {self.mean_batch_size:.1f}",
+            f"identical verdict triples: {self.identical_verdicts}",
+            f"shed requests            : {self.shed_requests}",
+        ]
+        return "\n".join(lines)
+
+
+def _replay_baseline(
+    service: ScoringService, wires: Sequence[bytes]
+) -> Tuple[List[Triple], List[float], float]:
+    started = time.perf_counter()
+    verdicts = [service.score_wire(wire) for wire in wires]
+    wall = time.perf_counter() - started
+    triples = [(v.session_id, v.flagged, v.risk_factor) for v in verdicts]
+    return triples, [v.latency_ms for v in verdicts], wall
+
+
+def _replay_runtime(
+    service: RuntimeScoringService,
+    wires: Sequence[bytes],
+    concurrency: int,
+    window: int,
+) -> Tuple[List[Triple], List[float], float]:
+    """Pipelined replay: producers keep ``window`` requests in flight."""
+    n = len(wires)
+    verdicts: List[Optional[Verdict]] = [None] * n
+    bounds = [
+        (i * n // concurrency, (i + 1) * n // concurrency)
+        for i in range(concurrency)
+    ]
+
+    def producer(lo: int, hi: int) -> None:
+        pending: "deque[Tuple[int, object]]" = deque()
+        for idx in range(lo, hi):
+            pending.append((idx, service.submit_wire(wires[idx])))
+            if len(pending) >= window:
+                slot, handle = pending.popleft()
+                verdicts[slot] = handle.result(timeout=30.0)
+        while pending:
+            slot, handle = pending.popleft()
+            verdicts[slot] = handle.result(timeout=30.0)
+
+    threads = [
+        threading.Thread(target=producer, args=bound, daemon=True)
+        for bound in bounds
+        if bound[0] < bound[1]
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    done = [v for v in verdicts if v is not None]
+    triples = [(v.session_id, v.flagged, v.risk_factor) for v in done]
+    return triples, [v.latency_ms for v in done], wall
+
+
+def _mode_result(
+    mode: str, n: int, wall: float, latencies: Sequence[float]
+) -> ModeResult:
+    return ModeResult(
+        mode=mode,
+        n_sessions=n,
+        wall_seconds=wall,
+        sessions_per_second=n / wall if wall > 0 else 0.0,
+        p50_ms=percentile(latencies, 50),
+        p99_ms=percentile(latencies, 99),
+    )
+
+
+def run_throughput_benchmark(
+    n_sessions: int = 12_000,
+    seed: int = 7,
+    concurrency: int = 8,
+    config: Optional[RuntimeConfig] = None,
+    polygraph: Optional[BrowserPolygraph] = None,
+    dataset: Optional[Dataset] = None,
+) -> BenchReport:
+    """Run all three modes over one synthetic replay.
+
+    ``dataset`` / ``polygraph`` may be supplied to reuse pre-built
+    artifacts (the benchmark harness shares the paper-scale pipeline);
+    otherwise a window of ``max(n_sessions, 2000)`` sessions is
+    generated and the pipeline is trained on it.
+    """
+    if dataset is None:
+        dataset = TrafficSimulator(
+            TrafficConfig(seed=seed).scaled(max(n_sessions, 2000))
+        ).generate()
+    if polygraph is None:
+        polygraph = BrowserPolygraph().fit(dataset)
+    runtime_config = config if config is not None else RuntimeConfig()
+    wires = [p.to_wire() for p in iter_payloads(dataset, n_sessions)]
+    n = len(wires)
+    # Keep enough queue headroom that the pipelined replay never sheds:
+    # shed verdicts would (correctly) break the identical-triples check.
+    window = max(1, runtime_config.queue_capacity // (2 * max(1, concurrency)))
+
+    base_triples, base_lat, base_wall = _replay_baseline(
+        ScoringService(polygraph), wires
+    )
+
+    batched_service = RuntimeScoringService(
+        polygraph,
+        config=replace(runtime_config, cache_entries=0),
+    ).start()
+    try:
+        bat_triples, bat_lat, bat_wall = _replay_runtime(
+            batched_service, wires, concurrency, window
+        )
+    finally:
+        batched_service.shutdown()
+
+    cached_service = RuntimeScoringService(polygraph, config=runtime_config)
+    cached_service.start()
+    try:
+        cac_triples, cac_lat, cac_wall = _replay_runtime(
+            cached_service, wires, concurrency, window
+        )
+        hit_rate = cached_service.cache_hit_rate
+        mean_batch = cached_service.runtime_stats.mean_batch_size
+        shed = cached_service.runtime_stats.counter("requests_shed")
+    finally:
+        cached_service.shutdown()
+    shed += batched_service.runtime_stats.counter("requests_shed")
+
+    modes = [
+        _mode_result("per-request", n, base_wall, base_lat),
+        _mode_result("batched", n, bat_wall, bat_lat),
+        _mode_result("batched+cached", n, cac_wall, cac_lat),
+    ]
+    return BenchReport(
+        modes=modes,
+        speedup_batched=base_wall / bat_wall if bat_wall > 0 else 0.0,
+        speedup_cached=base_wall / cac_wall if cac_wall > 0 else 0.0,
+        cache_hit_rate=hit_rate,
+        mean_batch_size=mean_batch,
+        identical_verdicts=(base_triples == bat_triples == cac_triples),
+        shed_requests=shed,
+    )

@@ -1,0 +1,211 @@
+"""The worker pool: a bounded queue with backpressure and graceful drain.
+
+The online path must degrade predictably under overload.  Rather than
+queueing unboundedly (and blowing the Section 3 latency budget for
+every queued request), the pool's queue is bounded: when it is full,
+:meth:`WorkerPool.submit` refuses the request and the scoring runtime
+answers with a typed :class:`Overloaded` verdict — an explicit shed the
+caller's risk engine can treat as "retry later", which is operationally
+honest in a way a 30-second queue wait is not.
+
+Workers drain the queue and hand each request to ``handler``.  After
+handling, a worker whose queue is empty invokes the ``idle`` hook (the
+runtime flushes the micro-batcher there, so a trickle of traffic never
+waits out the full linger), and the same hook runs on queue-poll
+timeouts to bound the linger when traffic stops entirely.
+
+``shutdown(drain=True)`` stops intake, lets the workers finish every
+queued request, and joins them — zero unanswered requests.  With
+``drain=False`` the queued requests are handed to ``on_discard``
+instead (the runtime sheds them), which still leaves zero unanswered.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.runtime.stats import RuntimeStats
+from repro.service.scoring import Verdict
+
+__all__ = ["Overloaded", "WorkerPool", "overloaded_verdict"]
+
+OVERLOADED_REASON = "overloaded"
+
+
+@dataclass(frozen=True)
+class Overloaded(Verdict):
+    """A typed shed verdict: the runtime refused the request unscored."""
+
+
+def overloaded_verdict(session_id: str = "", latency_ms: float = 0.0) -> Overloaded:
+    """Build the shed verdict for one refused request."""
+    return Overloaded(
+        session_id=session_id,
+        accepted=False,
+        flagged=False,
+        risk_factor=None,
+        reject_reason=OVERLOADED_REASON,
+        latency_ms=latency_ms,
+    )
+
+
+class _Sentinel:
+    """Queue poison pill; one per worker on shutdown."""
+
+
+_SENTINEL = _Sentinel()
+
+
+class WorkerPool:
+    """Threads draining a bounded request queue.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(item)`` — processes one queued request.
+    n_workers:
+        Number of worker threads.
+    queue_capacity:
+        Bound on the request queue; beyond it :meth:`submit` sheds.
+    idle:
+        Optional hook run by a worker when the queue is (momentarily)
+        empty, and on queue-poll timeouts.
+    on_discard:
+        Optional hook run for each queued item dropped by a
+        non-draining shutdown.
+    stats:
+        Shared :class:`RuntimeStats`; queue depth/peak gauges and the
+        ``requests_shed`` counter land here.
+    poll_interval_s:
+        Worker queue-poll timeout; bounds how stale the ``idle`` hook
+        can be when traffic stops.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[object], None],
+        n_workers: int = 4,
+        queue_capacity: int = 2048,
+        idle: Optional[Callable[[], None]] = None,
+        on_discard: Optional[Callable[[object], None]] = None,
+        stats: Optional[RuntimeStats] = None,
+        poll_interval_s: float = 0.005,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.handler = handler
+        self.n_workers = n_workers
+        self.queue_capacity = queue_capacity
+        self.idle = idle
+        self.on_discard = on_discard
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.poll_interval_s = poll_interval_s
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_capacity)
+        self._threads: List[threading.Thread] = []
+        self._accepting = False
+        self._started = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            self._accepting = True
+            for index in range(self.n_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"polygraph-worker-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def submit(self, item: object) -> bool:
+        """Enqueue a request; ``False`` means the pool shed it."""
+        if not self._accepting:
+            self.stats.incr("requests_shed")
+            return False
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self.stats.incr("requests_shed")
+            return False
+        depth = self._queue.qsize()
+        self.stats.set_gauge("queue_depth", depth)
+        return True
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = 10.0) -> None:
+        """Stop intake, settle every queued request, join the workers.
+
+        With ``drain=True`` the workers finish the backlog first; with
+        ``drain=False`` the backlog is handed to ``on_discard``.  Either
+        way no request is left unanswered.
+        """
+        with self._lock:
+            if not self._started:
+                return
+            self._accepting = False
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if not isinstance(item, _Sentinel) and self.on_discard:
+                    self.on_discard(item)
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        with self._lock:
+            self._started = False
+        self.stats.set_gauge("queue_depth", 0)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (approximate)."""
+        return self._queue.qsize()
+
+    def queue_empty(self) -> bool:
+        """Whether the queue is (momentarily) empty."""
+        return self._queue.empty()
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the workers are alive."""
+        with self._lock:
+            return self._started
+
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=self.poll_interval_s)
+            except queue.Empty:
+                if self.idle is not None:
+                    self.idle()
+                continue
+            if isinstance(item, _Sentinel):
+                return
+            try:
+                self.handler(item)
+            except Exception as exc:  # noqa: BLE001 — a bad request must not kill the worker
+                fail = getattr(item, "fail", None)
+                if fail is not None:
+                    fail(exc)
+            if self.idle is not None and self._queue.empty():
+                self.idle()

@@ -1,0 +1,599 @@
+"""The high-throughput scoring runtime.
+
+:class:`RuntimeScoringService` is the web-scale variant of
+:class:`~repro.service.scoring.ScoringService`: the same wire contract,
+the same verdicts, a very different execution model.
+
+Request lifecycle::
+
+    submit_wire(wire)
+        │  fast ingest (wire contract, memoized UA class, dedup)
+        ├─ reject ──────────────► Verdict(accepted=False)        (inline)
+        │
+        ├─ verdict-cache probe
+        │    hit ───────────────► Verdict from cached result     (inline)
+        │
+        └─ miss → bounded queue ─► worker → micro-batcher
+                       │                        │ full / linger / idle
+                       │ full                   ▼
+                       ▼               one detect_vectors() call
+              Overloaded verdict       fills cache, completes handles
+
+The caller's thread performs only the cheap, always-required work
+(validation and the cache probe); the model only ever runs inside
+vectorized batch flushes.  Because coarse-grained fingerprints are
+deliberately low-cardinality (Section 7), a production-shaped replay
+hits the cache for the overwhelming majority of sessions and the model
+is consulted a few hundred times per hundred thousand requests.
+
+Correctness contract: for any request sequence, the runtime produces
+the same ``(session_id, flagged, risk_factor)`` verdicts as the
+per-request :class:`ScoringService` — batching and caching are pure
+optimizations.  On retrain the pipeline swaps models atomically and
+notifies this service, which invalidates the verdict cache; in-flight
+batches score entirely against the snapshot they started with, and
+their results are refused by the cache afterwards (generation check).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.browsers.useragent import UserAgentError, parse_user_agent
+from repro.core.pipeline import BrowserPolygraph
+from repro.fingerprint.script import FingerprintPayload, MAX_PAYLOAD_BYTES
+from repro.runtime.batcher import MicroBatcher
+from repro.runtime.cache import VerdictCache
+from repro.runtime.pool import WorkerPool, overloaded_verdict
+from repro.runtime.stats import RuntimeStats
+from repro.service.ingest import (
+    MAX_FEATURE_VALUE,
+    MAX_SESSION_ID_LENGTH,
+    MAX_SUSPICIOUS_GLOBALS,
+    PayloadValidator,
+    RejectReason,
+)
+from repro.service.scoring import Verdict
+from repro.service.storage import SessionStore
+from repro.traffic.dataset import Dataset
+
+__all__ = ["PendingVerdict", "RuntimeConfig", "RuntimeScoringService"]
+
+_UA_MEMO_LIMIT = 4096
+_WIRE_MEMO_LIMIT = 8192
+
+_MISSING = object()  # memo sentinel: cached values may be None
+
+_SID_PREFIX = b'{"sid":"'
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the high-throughput runtime."""
+
+    n_workers: int = 4
+    queue_capacity: int = 4096
+    max_batch_size: int = 64
+    max_linger_ms: float = 2.0
+    cache_entries: int = 8192  # 0 disables the verdict cache
+    cache_ttl_seconds: Optional[float] = 300.0
+    quantization_step: int = 1
+    latency_sample_every: int = 8  # sample 1-in-N total latencies
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.cache_entries < 0:
+            raise ValueError("cache_entries must be >= 0")
+        if self.latency_sample_every < 1:
+            raise ValueError("latency_sample_every must be >= 1")
+
+
+class PendingVerdict:
+    """Handle to a verdict that may not have been decided yet."""
+
+    __slots__ = ("_verdict", "_event")
+
+    def __init__(self, verdict: Optional[Verdict] = None) -> None:
+        self._verdict = verdict
+        self._event = None if verdict is not None else threading.Event()
+
+    def done(self) -> bool:
+        """Whether the verdict has been decided."""
+        return self._verdict is not None
+
+    def result(self, timeout: Optional[float] = None) -> Verdict:
+        """Block until the verdict is decided and return it."""
+        if self._verdict is None:
+            assert self._event is not None
+            if not self._event.wait(timeout):
+                raise TimeoutError("verdict not decided within timeout")
+        return self._verdict
+
+    def _complete(self, verdict: Verdict) -> None:
+        self._verdict = verdict
+        if self._event is not None:
+            self._event.set()
+
+
+class _ScoreRequest:
+    """One cache-missed request travelling queue → batcher → flush."""
+
+    __slots__ = (
+        "handle",
+        "session_id",
+        "values",
+        "ua_key",
+        "suspicious_globals",
+        "cache_key",
+        "started_at",
+    )
+
+    def __init__(
+        self,
+        handle: PendingVerdict,
+        session_id: str,
+        values: Tuple[int, ...],
+        ua_key: str,
+        suspicious_globals: Tuple[str, ...],
+        cache_key: Optional[tuple],
+        started_at: float,
+    ) -> None:
+        self.handle = handle
+        self.session_id = session_id
+        self.values = values
+        self.ua_key = ua_key
+        self.suspicious_globals = suspicious_globals
+        self.cache_key = cache_key
+        self.started_at = started_at
+
+    def fail(self, exc: BaseException) -> None:
+        """Answer the caller with a typed internal-error verdict."""
+        self.handle._complete(
+            Verdict(
+                session_id=self.session_id,
+                accepted=False,
+                flagged=False,
+                risk_factor=None,
+                reject_reason=f"internal_error: {type(exc).__name__}",
+                latency_ms=(time.perf_counter() - self.started_at) * 1000.0,
+            )
+        )
+
+
+class RuntimeScoringService:
+    """Micro-batched, cached, pooled scoring over a fitted pipeline.
+
+    Drop-in for :class:`ScoringService` where it matters: ``score_wire``
+    takes the same bytes and returns the same :class:`Verdict`; the
+    ``validator`` (quarantine, dedup window) and optional ``store`` are
+    honoured; ``scored_count`` / ``flagged_count`` / ``flag_rate`` keep
+    their meanings.  New surface: :meth:`submit_wire` (non-blocking
+    handle), :meth:`shutdown` (graceful drain), :attr:`runtime_stats`
+    and :meth:`runtime_metrics_lines` (for ``/metrics``).
+    """
+
+    def __init__(
+        self,
+        polygraph: BrowserPolygraph,
+        validator: Optional[PayloadValidator] = None,
+        store: Optional[SessionStore] = None,
+        config: RuntimeConfig = RuntimeConfig(),
+        stats: Optional[RuntimeStats] = None,
+    ) -> None:
+        if not polygraph.is_fitted:
+            raise ValueError(
+                "RuntimeScoringService requires a fitted BrowserPolygraph"
+            )
+        self.polygraph = polygraph
+        self.validator = validator if validator is not None else PayloadValidator()
+        self.store = store
+        self.config = config
+        self.runtime_stats = stats if stats is not None else RuntimeStats()
+        self.cache: Optional[VerdictCache] = None
+        if config.cache_entries > 0:
+            self.cache = VerdictCache(
+                max_entries=config.cache_entries,
+                ttl_seconds=config.cache_ttl_seconds,
+                quantization_step=config.quantization_step,
+                stats=self.runtime_stats,
+            )
+            self.cache.set_model_generation(polygraph.model_generation)
+        self.batcher = MicroBatcher(
+            self._score_batch,
+            max_batch_size=config.max_batch_size,
+            max_linger_ms=config.max_linger_ms,
+        )
+        self.pool = WorkerPool(
+            handler=self._handle_request,
+            n_workers=config.n_workers,
+            queue_capacity=config.queue_capacity,
+            idle=self._idle_flush,
+            on_discard=self._discard_request,
+            stats=self.runtime_stats,
+        )
+        self.scored_count = 0
+        self.flagged_count = 0
+        self.requests_total = 0
+        self.rejected_count = 0
+        self._sample_every = config.latency_sample_every
+        self._lock = threading.Lock()  # ingest state + counters
+        self._ua_class: Dict[str, Optional[str]] = {}
+        # Parsed-wire memo: live payloads from the same browser differ
+        # only in their session id, so everything after it — user-agent,
+        # features, globals — is memoized by its raw bytes and repeat
+        # fingerprints skip the JSON parse entirely.  Parse results are
+        # model-independent, so this memo survives retrains.
+        self._wire_memo: Dict[bytes, tuple] = {}
+        self._closed = False
+        polygraph.add_retrain_listener(self._on_model_swap)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "RuntimeScoringService":
+        """Start the worker pool (idempotent)."""
+        self.pool.start()
+        return self
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop intake and settle every outstanding request.
+
+        ``drain=True`` scores the backlog before returning;
+        ``drain=False`` sheds it with :class:`Overloaded` verdicts.
+        Either way, every handle ever returned by :meth:`submit_wire`
+        is resolved when this returns.
+        """
+        self._closed = True
+        self.pool.shutdown(drain=drain)
+        self.batcher.flush()
+        self.polygraph.remove_retrain_listener(self._on_model_swap)
+
+    def __enter__(self) -> "RuntimeScoringService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+    # ------------------------------------------------------------------
+    # scoring
+
+    def score_wire(self, wire: bytes, day: Optional[date] = None) -> Verdict:
+        """The synchronous online path: submit and wait."""
+        return self.submit_wire(wire, day=day).result()
+
+    def submit_wire(
+        self, wire: bytes, day: Optional[date] = None
+    ) -> PendingVerdict:
+        """Validate, probe the cache, and queue a model call if needed.
+
+        Returns immediately: rejects, cache hits and sheds come back
+        already decided; only cache misses wait on a batch flush.
+        """
+        started = time.perf_counter()
+        rejected, fields = self._ingest_fast(wire)
+        if rejected is not None:
+            return PendingVerdict(
+                Verdict(
+                    session_id="",
+                    accepted=False,
+                    flagged=False,
+                    risk_factor=None,
+                    reject_reason=rejected.value,
+                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                )
+            )
+        session_id, user_agent, values, globs, ua_key = fields
+        if self.store is not None:
+            self.store.append(
+                FingerprintPayload(session_id, user_agent, values, 0.0, globs),
+                day=day,
+            )
+        cache_key: Optional[tuple] = None
+        if self.cache is not None:
+            cache_key = self.cache.make_key(values, ua_key)
+            result = self.cache.get(cache_key)
+            if result is not None:
+                if globs:
+                    result = self.polygraph.escalate_result(result, globs)
+                with self._lock:
+                    self.scored_count += 1
+                    if result.flagged:
+                        self.flagged_count += 1
+                latency = (time.perf_counter() - started) * 1000.0
+                if self.scored_count % self._sample_every == 0:
+                    self.runtime_stats.observe_stage("total", latency)
+                return PendingVerdict(
+                    Verdict(
+                        session_id=session_id,
+                        accepted=True,
+                        flagged=result.flagged,
+                        risk_factor=result.risk_factor,
+                        reject_reason=None,
+                        latency_ms=latency,
+                    )
+                )
+        handle = PendingVerdict()
+        request = _ScoreRequest(
+            handle, session_id, values, ua_key, globs, cache_key, started
+        )
+        if not self.pool.is_running and not self._closed:
+            self.pool.start()
+        if not self.pool.submit(request):
+            return PendingVerdict(
+                overloaded_verdict(
+                    session_id, (time.perf_counter() - started) * 1000.0
+                )
+            )
+        return handle
+
+    # ------------------------------------------------------------------
+    # retraining
+
+    def retrain(self, dataset: Dataset, align_rare: bool = True) -> None:
+        """Retrain the underlying pipeline and refresh runtime state.
+
+        The pipeline swaps the model atomically under its lock;
+        in-flight batches finish against the snapshot they took, the
+        retrain listener invalidates the verdict cache, and stale batch
+        results are refused by the cache's generation check.
+        """
+        self.polygraph.retrain(dataset, align_rare=align_rare)
+
+    def _on_model_swap(self, generation: int) -> None:
+        self.runtime_stats.incr("model_swaps")
+        if self.cache is not None:
+            self.cache.invalidate(generation)
+        with self._lock:
+            self._ua_class.clear()
+
+    # ------------------------------------------------------------------
+    # metrics
+
+    @property
+    def flag_rate(self) -> float:
+        """Share of scored sessions flagged so far."""
+        return self.flagged_count / self.scored_count if self.scored_count else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Verdict-cache hit rate (0 when the cache is disabled)."""
+        return self.cache.hit_rate if self.cache is not None else 0.0
+
+    def runtime_metrics_lines(self) -> List[str]:
+        """Prometheus-style lines for the ``/metrics`` endpoint."""
+        stats = self.runtime_stats
+        with self._lock:
+            stats.set_counter("requests_total", self.requests_total)
+            stats.set_counter("requests_rejected", self.rejected_count)
+        stats.set_gauge("queue_depth", self.pool.queue_depth)
+        if self.cache is not None:
+            self.cache.sync_stats()
+            stats.set_gauge("cache_entries", len(self.cache))
+        return stats.render_prometheus()
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _ingest_fast(
+        self, wire: bytes
+    ) -> Tuple[Optional[RejectReason], Optional[tuple]]:
+        """Wire-contract enforcement, mirrored from ``PayloadValidator``.
+
+        Identical checks in identical order, sharing the validator's
+        quarantine log and dedup window — but parsing the payload once
+        and memoizing the user-agent equivalence class, because this
+        runs on every request of the hot path.  Parity with
+        ``PayloadValidator.ingest_wire`` is pinned by tests.
+
+        Stateless checks run lock-free; only the shared mutable state
+        (quarantine log, dedup window, counters) is touched under the
+        service lock, so concurrent producers serialize on a few dict
+        and set operations rather than on a JSON parse.
+
+        Fast path: live payloads from the same browser differ only in
+        ``sid``, so the wire *suffix* (the bytes after the session id)
+        is memoized.  When the suffix was fully parsed and statically
+        validated before, only the session-id checks and the dedup
+        window run — no JSON parse, no user-agent parse.  The fast path
+        bails to the full parse on anything structurally unusual
+        (escaped or non-ASCII-control session ids, reordered or
+        duplicated keys), so it can never produce a different outcome
+        than ``PayloadValidator`` — only skip work that is provably
+        identical because the bytes are identical.
+        """
+        validator = self.validator
+        if len(wire) > MAX_PAYLOAD_BYTES:
+            return self._reject(
+                RejectReason.OVERSIZED, f"{len(wire)} bytes > {MAX_PAYLOAD_BYTES}"
+            )
+        sid_bytes: Optional[bytes] = None
+        suffix: Optional[bytes] = None
+        if wire.startswith(_SID_PREFIX):
+            quote = wire.find(b'"', 8)
+            if quote >= 8:
+                raw_sid = wire[8:quote]
+                # Escapes or control bytes in the sid change its JSON
+                # meaning; a second "sid" key would make json.loads
+                # keep the later one.  Either way: full parse.
+                if b"\\" not in raw_sid and (
+                    not raw_sid or min(raw_sid) >= 0x20
+                ):
+                    tail = wire[quote:]
+                    if b'"sid"' not in tail:
+                        sid_bytes = raw_sid
+                        suffix = tail
+                        cached = self._wire_memo.get(tail)
+                        if cached is not None:
+                            try:
+                                session_id = raw_sid.decode("utf-8")
+                            except UnicodeDecodeError:
+                                session_id = None
+                            if session_id is not None:
+                                user_agent, values, globs, ua_key = cached
+                                if not session_id or (
+                                    len(session_id) > MAX_SESSION_ID_LENGTH
+                                ):
+                                    return self._reject(
+                                        RejectReason.BAD_SESSION_ID,
+                                        session_id[:80],
+                                    )
+                                return self._admit(
+                                    session_id, user_agent, values, globs, ua_key
+                                )
+        try:
+            body = json.loads(wire.decode("utf-8"))
+            session_id = str(body["sid"])
+            user_agent = str(body["ua"])
+            values = tuple(map(int, body["f"]))
+            raw_globs = body.get("g", _MISSING)
+            globs = (
+                () if raw_globs is _MISSING
+                else tuple(str(g) for g in raw_globs)
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            return self._reject(RejectReason.MALFORMED, str(exc)[:120])
+        if not session_id or len(session_id) > MAX_SESSION_ID_LENGTH:
+            return self._reject(RejectReason.BAD_SESSION_ID, session_id[:80])
+        if len(values) != validator.expected_features:
+            return self._reject(
+                RejectReason.WRONG_ARITY,
+                f"{len(values)} values, expected {validator.expected_features}",
+            )
+        # C-loop min/max instead of a per-element genexpr; the arity
+        # check above guarantees ``values`` is non-empty.
+        if min(values) < 0 or max(values) > MAX_FEATURE_VALUE:
+            return self._reject(RejectReason.VALUE_RANGE, "feature out of range")
+        if len(globs) > MAX_SUSPICIOUS_GLOBALS:
+            return self._reject(
+                RejectReason.GLOBALS_OVERFLOW, f"{len(globs)} suspicious globals"
+            )
+        ua_key = self._ua_class_of(user_agent)
+        if ua_key is None:
+            return self._reject(RejectReason.UNPARSEABLE_UA, user_agent[:80])
+        # Memoize the statically-validated suffix — but only when the
+        # byte-sliced sid round-trips to the JSON-parsed one, proving
+        # the slice boundaries are exactly right for this shape.
+        if suffix is not None and session_id.encode("utf-8") == sid_bytes:
+            memo = self._wire_memo
+            if len(memo) >= _WIRE_MEMO_LIMIT:
+                memo.clear()
+            memo[suffix] = (user_agent, values, globs, ua_key)
+        return self._admit(session_id, user_agent, values, globs, ua_key)
+
+    def _admit(
+        self,
+        session_id: str,
+        user_agent: str,
+        values: Tuple[int, ...],
+        globs: Tuple[str, ...],
+        ua_key: str,
+    ) -> Tuple[Optional[RejectReason], Optional[tuple]]:
+        """Dedup window + counters for a statically-valid payload."""
+        validator = self.validator
+        with self._lock:
+            if validator.is_duplicate(session_id):
+                validator.quarantine.record(RejectReason.DUPLICATE, session_id)
+                self.requests_total += 1
+                self.rejected_count += 1
+                return RejectReason.DUPLICATE, None
+            validator.remember(session_id)
+            validator.accepted_count += 1
+            self.requests_total += 1
+        return None, (session_id, user_agent, values, globs, ua_key)
+
+    def _reject(
+        self, reason: RejectReason, detail: str
+    ) -> Tuple[RejectReason, None]:
+        with self._lock:
+            self.validator.quarantine.record(reason, detail)
+            self.requests_total += 1
+            self.rejected_count += 1
+        return reason, None
+
+    def _ua_class_of(self, user_agent: str) -> Optional[str]:
+        """Memoized raw UA string → parsed equivalence class (ua_key).
+
+        Reads are lock-free: dict get/set are atomic under the GIL and
+        a racing recompute is benign (same result, idempotent insert).
+        """
+        memo = self._ua_class
+        ua_key = memo.get(user_agent, _MISSING)
+        if ua_key is not _MISSING:
+            return ua_key
+        try:
+            ua_key = parse_user_agent(user_agent).key()
+        except UserAgentError:
+            ua_key = None
+        if len(memo) >= _UA_MEMO_LIMIT:
+            memo.clear()
+        memo[user_agent] = ua_key
+        return ua_key
+
+    def _handle_request(self, request: _ScoreRequest) -> None:
+        self.batcher.submit(request)
+
+    def _idle_flush(self) -> None:
+        if self.batcher.pending_count == 0:
+            return
+        if self.pool.queue_empty():
+            self.batcher.flush()
+        else:
+            self.batcher.poll()
+
+    def _discard_request(self, request: _ScoreRequest) -> None:
+        self.runtime_stats.incr("requests_shed")
+        request.handle._complete(
+            overloaded_verdict(
+                request.session_id,
+                (time.perf_counter() - request.started_at) * 1000.0,
+            )
+        )
+
+    def _score_batch(self, requests: Sequence[_ScoreRequest]) -> None:
+        """Score one coalesced batch with a single vectorized model call."""
+        model_started = time.perf_counter()
+        generation, detector = self.polygraph.detection_snapshot()
+        matrix = np.asarray([r.values for r in requests], dtype=float)
+        results = detector.evaluate_vectors(
+            matrix, [r.ua_key for r in requests]
+        )
+        stats = self.runtime_stats
+        stats.observe_batch(len(requests))
+        stats.observe_stage(
+            "model", (time.perf_counter() - model_started) * 1000.0
+        )
+        completed_at = time.perf_counter()
+        scored = 0
+        flagged = 0
+        for request, result in zip(requests, results):
+            if self.cache is not None and request.cache_key is not None:
+                self.cache.put(request.cache_key, result, generation=generation)
+            final = self.polygraph.escalate_result(
+                result, request.suspicious_globals
+            )
+            scored += 1
+            if final.flagged:
+                flagged += 1
+            request.handle._complete(
+                Verdict(
+                    session_id=request.session_id,
+                    accepted=True,
+                    flagged=final.flagged,
+                    risk_factor=final.risk_factor,
+                    reject_reason=None,
+                    latency_ms=(completed_at - request.started_at) * 1000.0,
+                )
+            )
+        with self._lock:
+            self.scored_count += scored
+            self.flagged_count += flagged

@@ -19,15 +19,26 @@ from __future__ import annotations
 import json
 from typing import Callable, Iterable, List, Tuple
 
+from repro.fingerprint.script import MAX_PAYLOAD_BYTES
 from repro.service.scoring import ScoringService
 
 __all__ = ["CollectionApp"]
 
-_MAX_BODY = 4096
+# The WSGI body cap IS the wire-contract cap (paper Section 3's 1KB
+# budget): anything larger would be quarantined as OVERSIZED by the
+# validator anyway, so reading it off the socket only buys an attacker
+# free memory.  Deriving it keeps the two caps from silently diverging.
+_MAX_BODY = MAX_PAYLOAD_BYTES
 
 
 class CollectionApp:
-    """WSGI callable wrapping a :class:`ScoringService`."""
+    """WSGI callable wrapping a scoring service.
+
+    ``service`` is either the per-request :class:`ScoringService` or the
+    high-throughput :class:`~repro.runtime.service.RuntimeScoringService`
+    — both speak the same ``score_wire`` contract, and the runtime
+    additionally contributes its metrics registry to ``/metrics``.
+    """
 
     def __init__(self, service: ScoringService) -> None:
         self.service = service
@@ -100,6 +111,11 @@ class CollectionApp:
             lines.append(
                 f'polygraph_payloads_rejected_by_reason{{reason="{reason.value}"}} {count}'
             )
+        # The high-throughput runtime contributes its own registry
+        # (cache hit rate, batch sizes, queue depth, stage latencies).
+        runtime_lines = getattr(self.service, "runtime_metrics_lines", None)
+        if runtime_lines is not None:
+            lines.extend(runtime_lines())
         body = ("\n".join(lines) + "\n").encode("utf-8")
         start_response(
             "200 OK",

@@ -19,11 +19,24 @@ from repro.browsers.useragent import UserAgentError, parse_user_agent
 from repro.fingerprint.features import N_FEATURES
 from repro.fingerprint.script import FingerprintPayload, MAX_PAYLOAD_BYTES
 
-__all__ = ["IngestResult", "PayloadValidator", "QuarantineLog", "RejectReason"]
+__all__ = [
+    "IngestResult",
+    "MAX_FEATURE_VALUE",
+    "MAX_SESSION_ID_LENGTH",
+    "MAX_SUSPICIOUS_GLOBALS",
+    "PayloadValidator",
+    "QuarantineLog",
+    "RejectReason",
+]
 
-_MAX_FEATURE_VALUE = 10_000
-_MAX_SESSION_ID_LENGTH = 64
-_MAX_SUSPICIOUS_GLOBALS = 16
+MAX_FEATURE_VALUE = 10_000
+MAX_SESSION_ID_LENGTH = 64
+MAX_SUSPICIOUS_GLOBALS = 16
+
+# Backwards-compatible aliases (pre-runtime module-private names).
+_MAX_FEATURE_VALUE = MAX_FEATURE_VALUE
+_MAX_SESSION_ID_LENGTH = MAX_SESSION_ID_LENGTH
+_MAX_SUSPICIOUS_GLOBALS = MAX_SUSPICIOUS_GLOBALS
 
 
 class RejectReason(str, Enum):
@@ -154,8 +167,19 @@ class PayloadValidator:
         return [self.ingest_wire(wire) for wire in wires]
 
     # ------------------------------------------------------------------
+    # dedup state, shared with the runtime's fast ingest path
 
-    def _remember(self, session_id: str) -> None:
+    @property
+    def dedup_enabled(self) -> bool:
+        """Whether replay rejection is active."""
+        return bool(self._dedup_window)
+
+    def is_duplicate(self, session_id: str) -> bool:
+        """Whether ``session_id`` is inside the dedup window."""
+        return bool(self._dedup_window) and session_id in self._seen_set
+
+    def remember(self, session_id: str) -> None:
+        """Record an accepted session id in the dedup window."""
         if not self._dedup_window:
             return
         if len(self._seen_ids) == self._seen_ids.maxlen:
@@ -163,6 +187,9 @@ class PayloadValidator:
             self._seen_set.discard(oldest)
         self._seen_ids.append(session_id)
         self._seen_set.add(session_id)
+
+    # Backwards-compatible alias.
+    _remember = remember
 
     def _reject(self, reason: RejectReason, detail: str) -> IngestResult:
         self.quarantine.record(reason, detail)

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.core.pipeline import BrowserPolygraph
 from repro.service.ingest import IngestResult, PayloadValidator
 from repro.service.storage import SessionStore
+from repro.traffic.dataset import Dataset
 
 __all__ = ["ScoringService", "Verdict"]
 
@@ -93,6 +94,16 @@ class ScoringService:
             reject_reason=None,
             latency_ms=(time.perf_counter() - started) * 1000.0,
         )
+
+    def retrain(self, dataset: Dataset, align_rare: bool = True) -> None:
+        """Swap in a freshly trained model without stopping scoring.
+
+        The pipeline installs the new model atomically under its swap
+        lock: a request (or a runtime batch) that is mid-flight keeps
+        scoring against the snapshot it started with, and every request
+        accepted afterwards sees only the new model — never a mix.
+        """
+        self.polygraph.retrain(dataset, align_rare=align_rare)
 
     @property
     def flag_rate(self) -> float:

@@ -71,3 +71,60 @@ def test_unknown_experiment_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_bench_runtime_smoke(capsys):
+    assert main(
+        ["bench-runtime", "--sessions", "1500", "--concurrency", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "cache hit rate" in out
+
+
+def test_serve_parser_accepts_runtime_flags(artifacts):
+    import argparse
+
+    from repro.cli import _build_parser
+
+    _, model_path = artifacts
+    args = _build_parser().parse_args(
+        [
+            "serve",
+            model_path,
+            "--runtime",
+            "--workers", "2",
+            "--batch-size", "16",
+            "--linger-ms", "1.5",
+            "--queue-capacity", "128",
+            "--cache-entries", "512",
+            "--cache-ttl", "60",
+            "--port", "0",
+        ]
+    )
+    assert isinstance(args, argparse.Namespace)
+    assert args.runtime and args.workers == 2 and args.cache_ttl == 60.0
+
+
+def test_build_service_selects_runtime(artifacts):
+    import argparse
+
+    from repro.cli import _build_service
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.runtime.service import RuntimeScoringService
+    from repro.service.scoring import ScoringService
+
+    _, model_path = artifacts
+    pipeline = BrowserPolygraph.load(model_path)
+    base = argparse.Namespace(
+        runtime=False, workers=2, batch_size=16, linger_ms=1.0,
+        queue_capacity=64, cache_entries=128, cache_ttl=60.0,
+    )
+    assert isinstance(_build_service(pipeline, base), ScoringService)
+    base.runtime = True
+    service = _build_service(pipeline, base)
+    try:
+        assert isinstance(service, RuntimeScoringService)
+        assert service.pool.is_running
+    finally:
+        service.shutdown()

@@ -335,3 +335,101 @@ class TestFacade:
         polygraph = BrowserPolygraph()
         assert polygraph.fit(small_dataset) is polygraph
         assert polygraph.is_fitted
+
+
+class TestVectorBatchPath:
+    """detect_vectors: the batch API behind the scoring runtime."""
+
+    def test_rows_match_single_session_path(self, trained, small_dataset):
+        n = 64
+        matrix = small_dataset.matrix()[:n]
+        uas = list(small_dataset.ua_keys[:n])
+        batched = trained.detect_vectors(matrix, uas)
+        for row, ua, result in zip(matrix, uas, batched):
+            single = trained.detect_session(row, ua)
+            assert (result.predicted_cluster, result.flagged, result.risk_factor) == (
+                single.predicted_cluster,
+                single.flagged,
+                single.risk_factor,
+            )
+
+    def test_misaligned_lengths_rejected(self, trained, small_dataset):
+        matrix = small_dataset.matrix()[:4]
+        with pytest.raises(ValueError):
+            trained.detect_vectors(matrix, list(small_dataset.ua_keys[:3]))
+
+    def test_one_dimensional_matrix_rejected(self, trained, small_dataset):
+        with pytest.raises(ValueError):
+            trained.detect_vectors(small_dataset.matrix()[0], ["chrome-112"])
+
+    def test_before_fit_rejected(self, small_dataset):
+        with pytest.raises(RuntimeError):
+            BrowserPolygraph().detect_vectors(
+                small_dataset.matrix()[:2], list(small_dataset.ua_keys[:2])
+            )
+
+
+class TestModelSwap:
+    """Atomic model swaps: generation counter + retrain listeners."""
+
+    def test_generation_bumps_on_every_fit(self, small_dataset):
+        polygraph = BrowserPolygraph()
+        assert polygraph.model_generation == 0
+        polygraph.fit(small_dataset)
+        assert polygraph.model_generation == 1
+        polygraph.retrain(small_dataset)
+        assert polygraph.model_generation == 2
+
+    def test_snapshot_is_consistent_pair(self, small_dataset):
+        polygraph = BrowserPolygraph().fit(small_dataset)
+        generation, detector = polygraph.detection_snapshot()
+        assert generation == polygraph.model_generation
+        polygraph.retrain(small_dataset)
+        new_generation, new_detector = polygraph.detection_snapshot()
+        assert new_generation == generation + 1
+        assert new_detector is not detector
+        # The old snapshot detector still scores (in-flight batches).
+        result = detector.evaluate_vectors(
+            small_dataset.matrix()[:1], list(small_dataset.ua_keys[:1])
+        )[0]
+        assert result.predicted_cluster >= 0
+
+    def test_snapshot_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            BrowserPolygraph().detection_snapshot()
+
+    def test_listeners_fire_after_swap(self, small_dataset):
+        polygraph = BrowserPolygraph()
+        seen = []
+        polygraph.add_retrain_listener(seen.append)
+        polygraph.fit(small_dataset)
+        assert seen == [1]
+        polygraph.retrain(small_dataset)
+        assert seen == [1, 2]
+        polygraph.remove_retrain_listener(seen.append)
+        polygraph.retrain(small_dataset)
+        assert seen == [1, 2]
+
+    def test_remove_unknown_listener_is_noop(self, small_dataset):
+        BrowserPolygraph().remove_retrain_listener(lambda g: None)
+
+
+class TestEscalation:
+    def test_disabled_by_default(self, trained, small_dataset):
+        result = trained.detect_session(
+            small_dataset.matrix()[0], small_dataset.ua_keys[0]
+        )
+        escalated = trained.escalate_result(result, ("antBrowserInjected",))
+        assert escalated is result
+
+    def test_probe_escalates_to_vendor_mismatch_risk(self, small_dataset):
+        config = PipelineConfig(enable_namespace_probe=True)
+        polygraph = BrowserPolygraph(config=config).fit(small_dataset)
+        result = polygraph.detect_session(
+            small_dataset.matrix()[0], small_dataset.ua_keys[0]
+        )
+        escalated = polygraph.escalate_result(result, ("antBrowserInjected",))
+        assert escalated.flagged
+        assert escalated.risk_factor == config.vendor_mismatch_risk
+        # No suspicious globals: untouched even with the probe enabled.
+        assert polygraph.escalate_result(result, ()) is result
