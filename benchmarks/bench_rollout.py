@@ -1,0 +1,185 @@
+"""Overhead of shadow scoring on the live serving path.
+
+Replays a FinOrg-shaped traffic window through the high-throughput
+runtime twice — once bare, once with a rollout in shadow stage
+mirroring half the live traffic to a candidate model — and asserts the
+deployment claims of the rollout subsystem:
+
+* shadow scoring is off the latency-critical path: the live replay
+  keeps most of its bare throughput while every mirrored comparison is
+  scored asynchronously;
+* an identical candidate produces **zero** disagreements (the report is
+  a faithful comparator, not a noise source).
+
+Also runnable directly for a quick smoke pass (CI uses this mode)::
+
+    PYTHONPATH=src python benchmarks/bench_rollout.py --sessions 1500
+"""
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from datetime import date
+
+REPLAY = int(os.environ.get("REPRO_ROLLOUT_REPLAY", "12000"))
+
+# Shadow throughput must stay within this factor of the bare runtime.
+# The bound is deliberately loose: CI boxes are noisy, and the claim
+# under test is "same order of magnitude", not a precise ratio.
+MAX_SLOWDOWN = 3.0
+
+
+@dataclass
+class RolloutOverheadReport:
+    sessions: int
+    bare_rate: float
+    shadow_rate: float
+    comparisons: int
+    shed: int
+    disagreement_rate: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.bare_rate / self.shadow_rate if self.shadow_rate else 0.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Shadow-scoring overhead on the live path",
+                f"  sessions replayed      {self.sessions}",
+                f"  bare runtime           {self.bare_rate:,.0f} sessions/s",
+                f"  with shadow attached   {self.shadow_rate:,.0f} sessions/s",
+                f"  slowdown               {self.slowdown:.2f}x",
+                f"  shadow comparisons     {self.comparisons} "
+                f"({self.shed} shed)",
+                f"  disagreement rate      {self.disagreement_rate:.4f}",
+            ]
+        )
+
+
+def _fresh_wires(dataset, prefix, limit):
+    from repro.traffic.replay import iter_payloads
+
+    wires = []
+    for idx, payload in enumerate(iter_payloads(dataset, limit)):
+        body = json.loads(payload.to_wire().decode())
+        body["sid"] = f"{prefix}-{idx}"
+        wires.append(json.dumps(body, separators=(",", ":")).encode())
+    return wires
+
+
+def run_rollout_overhead_benchmark(
+    n_sessions: int,
+    seed: int = 7,
+    polygraph=None,
+    dataset=None,
+    shadow_sample_rate: float = 0.5,
+) -> RolloutOverheadReport:
+    import tempfile
+
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.core.retraining import ModelRegistry
+    from repro.rollout import GuardrailConfig, RolloutConfig, RolloutManager
+    from repro.runtime.service import RuntimeScoringService
+    from repro.traffic.generator import TrafficConfig, TrafficSimulator
+
+    if dataset is None:
+        dataset = TrafficSimulator(
+            TrafficConfig(seed=seed).scaled(n_sessions)
+        ).generate()
+    if polygraph is None:
+        polygraph = BrowserPolygraph().fit(dataset)
+
+    with tempfile.TemporaryDirectory(prefix="bench-rollout-") as root:
+        registry = ModelRegistry(root)
+        registry.promote(polygraph, date(2023, 7, 1), "bootstrap")
+        registry.stage_candidate(polygraph, date(2023, 8, 1), "candidate")
+
+        runtime = RuntimeScoringService(registry.load(1)).start()
+        try:
+            bare = _fresh_wires(dataset, "bare", n_sessions)
+            started = time.perf_counter()
+            for wire in bare:
+                runtime.score_wire(wire)
+            bare_rate = len(bare) / (time.perf_counter() - started)
+
+            manager = RolloutManager(
+                registry,
+                runtime=runtime,
+                config=RolloutConfig(
+                    stages=(1.0,), shadow_sample_rate=shadow_sample_rate
+                ),
+                guardrails=GuardrailConfig(min_comparisons=10_000_000),
+            )
+            manager.start(2, salt="bench-rollout")
+            try:
+                shadowed = _fresh_wires(dataset, "shadow", n_sessions)
+                started = time.perf_counter()
+                for wire in shadowed:
+                    runtime.score_wire(wire)
+                shadow_rate = len(shadowed) / (time.perf_counter() - started)
+                manager.drain_shadow(timeout=60.0)
+            finally:
+                manager.close()
+            report = manager.report
+            return RolloutOverheadReport(
+                sessions=n_sessions,
+                bare_rate=bare_rate,
+                shadow_rate=shadow_rate,
+                comparisons=report.comparisons,
+                shed=report.shed,
+                disagreement_rate=report.disagreement_rate,
+            )
+        finally:
+            runtime.shutdown()
+
+
+def test_shadow_overhead(benchmark):
+    from conftest import run_and_print
+    from repro.analysis.experiments import trained_pipeline, training_dataset
+
+    report = run_and_print(
+        benchmark,
+        run_rollout_overhead_benchmark,
+        REPLAY,
+        polygraph=trained_pipeline(),
+        dataset=training_dataset(),
+    )
+    assert report.comparisons > 0
+    assert report.disagreement_rate == 0.0, "identical candidate disagreed"
+    assert report.slowdown <= MAX_SLOWDOWN, (
+        f"shadow scoring slowed the live path {report.slowdown:.2f}x "
+        f"(> {MAX_SLOWDOWN}x)"
+    )
+
+
+def _main(argv):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Smoke-run the shadow-scoring overhead benchmark"
+    )
+    parser.add_argument("--sessions", type=int, default=REPLAY)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shadow-sample", type=float, default=0.5)
+    args = parser.parse_args(argv)
+    report = run_rollout_overhead_benchmark(
+        args.sessions, seed=args.seed, shadow_sample_rate=args.shadow_sample
+    )
+    print(report.render())
+    if report.disagreement_rate != 0.0:
+        print("FAIL: identical candidate produced disagreements")
+        return 1
+    if report.comparisons == 0:
+        print("FAIL: shadow scorer never ran")
+        return 1
+    if report.slowdown > MAX_SLOWDOWN:
+        print(f"FAIL: slowdown {report.slowdown:.2f}x > {MAX_SLOWDOWN}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

@@ -7,8 +7,12 @@ Subcommands:
 * ``drift``       — load a model and run the drift check on a window;
 * ``experiment``  — regenerate any paper table/figure by name;
 * ``simulate``    — generate and save a synthetic FinOrg dataset;
-* ``serve``       — run the collection endpoint over a saved model
-  (``--runtime`` switches to the micro-batched scoring runtime);
+* ``serve``       — run the collection endpoint over a saved model or a
+  registry's live model (``--runtime`` switches to the micro-batched
+  scoring runtime and resumes any in-flight rollout);
+* ``rollout``     — drive a staged model rollout against a registry:
+  ``start`` a candidate into shadow, inspect ``status``, ``promote``
+  one stage toward live, or ``abort``;
 * ``bench-runtime`` — measure per-request vs batched vs cached
   throughput of the online path.
 """
@@ -98,7 +102,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="run the collection endpoint over a saved model"
     )
-    serve.add_argument("model", help="model .json path")
+    serve.add_argument(
+        "model", nargs="?", help="model .json path (or use --registry)"
+    )
+    serve.add_argument(
+        "--registry",
+        help="serve the registry's live model instead of a model file; "
+        "with --runtime, an in-flight rollout is resumed",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8040)
     serve.add_argument(
@@ -115,6 +126,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-entries", type=int, default=8192, help="0 disables the cache"
     )
     serve.add_argument("--cache-ttl", type=float, default=300.0)
+
+    rollout = sub.add_parser(
+        "rollout", help="drive a staged model rollout against a registry"
+    )
+    rollout.add_argument("registry", help="model registry directory")
+    rollout.add_argument(
+        "action",
+        choices=["start", "status", "promote", "abort"],
+        help="start a candidate into shadow, show status, advance one "
+        "stage (promotes to live after the last), or abort",
+    )
+    rollout.add_argument(
+        "--candidate",
+        type=int,
+        help="candidate version to start (default: newest staged candidate)",
+    )
+    rollout.add_argument(
+        "--stages",
+        help="comma-separated canary fractions, e.g. 0.01,0.05,0.25,1.0",
+    )
+    rollout.add_argument(
+        "--shadow-sample",
+        type=float,
+        default=None,
+        help="share of live-arm traffic mirrored to the candidate",
+    )
 
     bench = sub.add_parser(
         "bench-runtime",
@@ -251,23 +288,128 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.api import CollectionApp
 
-    pipeline = BrowserPolygraph.load(args.model)
+    manager = None
+    if args.registry:
+        from repro.core.retraining import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+        pipeline = registry.load()
+    elif args.model:
+        pipeline = BrowserPolygraph.load(args.model)
+    else:
+        print("serve: provide a model path or --registry", file=sys.stderr)
+        return 2
     service = _build_service(pipeline, args)
+    if args.registry and args.runtime:
+        from repro.rollout import RolloutManager
+
+        manager = RolloutManager(registry, runtime=service)
+        state = manager.resume()
+        if state is not None and state.in_flight:
+            print(
+                f"resumed rollout of v{state.candidate_version} "
+                f"({state.status}, stage {state.stage_index})"
+            )
     app = CollectionApp(service)
     mode = "runtime (micro-batched)" if args.runtime else "per-request"
     with make_server(args.host, args.port, app) as httpd:
         print(
             f"serving {mode} scoring on http://{args.host}:{args.port} "
-            f"(POST /collect, GET /health, GET /metrics)"
+            f"(POST /collect, GET /health, GET /metrics, GET /rollout)"
         )
         try:
             httpd.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            if manager is not None:
+                manager.save()
+                manager.close()
             shutdown = getattr(service, "shutdown", None)
             if shutdown is not None:
                 shutdown(drain=True)
+    return 0
+
+
+def _cmd_rollout(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.core.retraining import STATUS_CANDIDATE, ModelRegistry
+    from repro.rollout import LIVE, RolloutConfig, RolloutError, RolloutManager
+
+    registry = ModelRegistry(args.registry)
+    config = RolloutConfig()
+    overrides = {}
+    if args.stages:
+        overrides["stages"] = tuple(
+            float(s) for s in args.stages.split(",") if s.strip()
+        )
+    if args.shadow_sample is not None:
+        overrides["shadow_sample_rate"] = args.shadow_sample
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    manager = RolloutManager(registry, config=config)
+
+    if args.action == "start":
+        candidate = args.candidate
+        if candidate is None:
+            staged = [
+                e
+                for e in registry.versions()
+                if e.get("status") == STATUS_CANDIDATE
+            ]
+            if not staged:
+                print(
+                    "rollout start: no staged candidate in the registry "
+                    "(use --candidate N)",
+                    file=sys.stderr,
+                )
+                return 2
+            candidate = staged[-1]["version"]
+        try:
+            state = manager.start(candidate)
+        except (RolloutError, LookupError, ValueError) as exc:
+            print(f"rollout start: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"rollout of v{state.candidate_version} started in shadow "
+            f"against live v{state.baseline_version} (salt {state.salt})"
+        )
+        return 0
+
+    state = manager.resume()
+    if state is None:
+        print("no rollout recorded in this registry", file=sys.stderr)
+        return 2
+    if args.action == "status":
+        print(_json.dumps(manager.status_dict(), indent=2))
+        return 0
+    if args.action == "abort":
+        state = manager.abort()
+        print(f"rollout of v{state.candidate_version} aborted")
+        return 0
+    # promote: advance one stage; guardrails are still evaluated against
+    # the persisted disagreement report, but stage completeness is the
+    # operator's call when driving from the CLI.
+    try:
+        state = manager.advance(force=True)
+    except RolloutError as exc:
+        print(f"rollout promote: {exc}", file=sys.stderr)
+        return 2
+    if state.status == LIVE:
+        print(f"v{state.candidate_version} is live")
+    elif state.in_flight:
+        print(
+            f"advanced to canary stage {state.stage_index} "
+            f"({state.stage_fraction:.0%} of traffic)"
+        )
+    else:
+        print(
+            f"rollout of v{state.candidate_version} is {state.status}"
+            + (f" (breach: {state.breach['name']})" if state.breach else "")
+        )
     return 0
 
 
@@ -304,6 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "report": _cmd_report,
         "serve": _cmd_serve,
+        "rollout": _cmd_rollout,
         "bench-runtime": _cmd_bench_runtime,
     }
     try:

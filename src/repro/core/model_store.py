@@ -8,10 +8,11 @@ Forest is a training-time tool and is intentionally not persisted.)
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -21,13 +22,37 @@ from repro.ml.kmeans import KMeans
 from repro.ml.pca import PCA
 from repro.ml.scaler import StandardScaler
 
-__all__ = ["load_model", "save_model"]
+__all__ = ["load_model", "save_model", "stored_digest"]
 
 _FORMAT_VERSION = 1
 
 
-def save_model(model: ClusterModel, path: Union[str, Path]) -> None:
-    """Serialize a fitted :class:`ClusterModel` to JSON."""
+def _content_digest(document: dict) -> str:
+    """sha256 over the canonical serialization of ``document``.
+
+    The digest covers the exact ``json.dumps(..., indent=2)`` text the
+    file stores (minus the ``sha256`` field itself), so any bit flip,
+    truncation-and-repair, or hand edit of the persisted model changes
+    the digest and :func:`load_model` fails loudly instead of serving
+    verdicts from corrupt centroids.
+    """
+    payload = json.dumps(document, indent=2)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def stored_digest(path: Union[str, Path]) -> Optional[str]:
+    """The sha256 digest recorded inside a saved model file."""
+    document = json.loads(Path(path).read_text())
+    return document.get("sha256")
+
+
+def save_model(model: ClusterModel, path: Union[str, Path]) -> str:
+    """Serialize a fitted :class:`ClusterModel` to JSON.
+
+    Returns the sha256 content digest recorded in the file (callers
+    such as the model registry store it independently, so a swapped
+    file is detected even when it is internally self-consistent).
+    """
     if model.kmeans is None or model.pca is None or model.preprocessor.scaler is None:
         raise ValueError("cannot save an unfitted ClusterModel")
     scaler = model.preprocessor.scaler
@@ -55,16 +80,33 @@ def save_model(model: ClusterModel, path: Union[str, Path]) -> None:
         "aligned_uas": list(model.aligned_uas_),
         "feature_names": [spec.name for spec in model.specs],
     }
+    digest = _content_digest(document)
+    document["sha256"] = digest
     Path(path).write_text(json.dumps(document, indent=2))
+    return digest
 
 
 def load_model(path: Union[str, Path]) -> ClusterModel:
-    """Restore a :class:`ClusterModel` saved with :func:`save_model`."""
+    """Restore a :class:`ClusterModel` saved with :func:`save_model`.
+
+    Raises ``ValueError`` when the file's recorded sha256 digest does
+    not match its content (truncated, bit-rotted, or hand-edited model
+    files must never load).  Files written before digests existed
+    (no ``sha256`` field) still load.
+    """
     document = json.loads(Path(path).read_text())
     if document.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported model format: {document.get('format_version')!r}"
         )
+    recorded = document.pop("sha256", None)
+    if recorded is not None:
+        actual = _content_digest(document)
+        if actual != recorded:
+            raise ValueError(
+                f"model file {path} digest mismatch: recorded {recorded[:12]}..., "
+                f"content hashes to {actual[:12]}... (corrupt or hand-edited)"
+            )
     config_fields = dict(document["config"])
     config = PipelineConfig(**config_fields)
     model = ClusterModel(config)

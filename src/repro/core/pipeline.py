@@ -70,6 +70,20 @@ class BrowserPolygraph:
         """Retrain from scratch on an extended window (drift response)."""
         return self.fit(dataset, align_rare=align_rare)
 
+    def install(self, model: ClusterModel) -> "BrowserPolygraph":
+        """Atomically adopt an externally trained :class:`ClusterModel`.
+
+        The rollout manager's promotion/rollback mechanism: a candidate
+        (or a restored baseline) trained elsewhere is swapped in under
+        the same lock as :meth:`fit`, bumping the generation counter and
+        firing the retrain listeners — so the verdict cache invalidates
+        exactly as it would for an in-place retrain.
+        """
+        if model.kmeans is None:
+            raise ValueError("cannot install an unfitted ClusterModel")
+        self._install_model(model)
+        return self
+
     @property
     def is_fitted(self) -> bool:
         """Whether :meth:`fit` has run."""
@@ -202,10 +216,10 @@ class BrowserPolygraph:
     # ------------------------------------------------------------------
     # persistence
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Persist the trained model to JSON."""
+    def save(self, path: Union[str, Path]) -> str:
+        """Persist the trained model to JSON; returns its sha256 digest."""
         self._require_fitted()
-        save_model(self.cluster_model, path)
+        return save_model(self.cluster_model, path)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "BrowserPolygraph":
@@ -223,6 +237,8 @@ class BrowserPolygraph:
         with self._swap_lock:
             self.cluster_model = model
             self._detector = detector
+            self.config = model.config
+            self.specs = tuple(model.specs)
             self._generation += 1
             generation = self._generation
             listeners = tuple(self._retrain_listeners)

@@ -14,20 +14,33 @@ automates that operational loop:
   cluster table;
 * archives every promoted model with metadata (a one-file model
   registry), so a bad promotion can be rolled back.
+
+With a rollout manager attached (``repro.rollout``), verification no
+longer promotes directly: the candidate is *staged* in the registry and
+handed to the manager, which walks it through shadow and canary before
+it becomes live — or rolls it back without the orchestrator's window
+ever adopting it.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import date
 from pathlib import Path
 from typing import List, Optional, Union
 
+from repro.core.model_store import stored_digest
 from repro.core.pipeline import BrowserPolygraph
 from repro.traffic.dataset import Dataset
 
 __all__ = ["ModelRegistry", "RetrainingOrchestrator", "RetrainingOutcome"]
+
+# Registry entry statuses.  Entries written before statuses existed are
+# treated as live (they were promoted directly).
+STATUS_LIVE = "live"
+STATUS_CANDIDATE = "candidate"
+STATUS_ROLLED_BACK = "rolled_back"
 
 
 @dataclass(frozen=True)
@@ -40,13 +53,16 @@ class RetrainingOutcome:
     promoted: bool
     accuracy: Optional[float]
     detail: str
+    staged_version: Optional[int] = None
 
 
 class ModelRegistry:
-    """Versioned storage of promoted models.
+    """Versioned storage of promoted and staged models.
 
-    Each promotion writes ``model-v<N>.json`` plus an entry in
-    ``registry.json`` recording when and why.
+    Each entry writes ``model-v<N>.json`` plus a row in
+    ``registry.json`` recording when, why, the model's sha256 content
+    digest, and its status: ``live`` (serving, or a past serving
+    model), ``candidate`` (staged for rollout), or ``rolled_back``.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -59,23 +75,37 @@ class ModelRegistry:
             return []
         return json.loads(self._index_path.read_text())
 
+    def _write_index(self, index: List[dict]) -> None:
+        self._index_path.write_text(json.dumps(index, indent=2))
+
     def versions(self) -> List[dict]:
         """Promotion history, oldest first."""
         return self._index()
 
     @property
     def latest_version(self) -> int:
-        """Highest promoted version number (0 when empty)."""
+        """Highest stored version number (0 when empty)."""
         index = self._index()
         return index[-1]["version"] if index else 0
 
-    def promote(
-        self, polygraph: BrowserPolygraph, check_date: date, reason: str
+    @property
+    def live_version(self) -> int:
+        """Version of the newest live entry (0 when none)."""
+        for entry in reversed(self._index()):
+            if entry.get("status", STATUS_LIVE) == STATUS_LIVE:
+                return entry["version"]
+        return 0
+
+    def _store(
+        self,
+        polygraph: BrowserPolygraph,
+        check_date: date,
+        reason: str,
+        status: str,
     ) -> int:
-        """Store a model as the next version; returns its number."""
         version = self.latest_version + 1
         model_path = self.root / f"model-v{version:03d}.json"
-        polygraph.save(model_path)
+        digest = polygraph.save(model_path)
         index = self._index()
         index.append(
             {
@@ -84,40 +114,111 @@ class ModelRegistry:
                 "promoted_on": check_date.isoformat(),
                 "accuracy": polygraph.accuracy,
                 "reason": reason,
+                "status": status,
+                "sha256": digest,
             }
         )
-        self._index_path.write_text(json.dumps(index, indent=2))
+        self._write_index(index)
         return version
 
+    def promote(
+        self, polygraph: BrowserPolygraph, check_date: date, reason: str
+    ) -> int:
+        """Store a model directly as the next live version."""
+        return self._store(polygraph, check_date, reason, STATUS_LIVE)
+
+    def stage_candidate(
+        self, polygraph: BrowserPolygraph, check_date: date, reason: str
+    ) -> int:
+        """Store a model as a rollout candidate (not yet serving)."""
+        return self._store(polygraph, check_date, reason, STATUS_CANDIDATE)
+
+    def _set_status(self, version: int, status: str) -> None:
+        index = self._index()
+        for entry in index:
+            if entry["version"] == version:
+                entry["status"] = status
+                self._write_index(index)
+                return
+        raise LookupError(f"no model version {version}")
+
+    def mark_live(self, version: int) -> None:
+        """Mark a staged candidate as the serving model."""
+        self._set_status(version, STATUS_LIVE)
+
+    def mark_rolled_back(self, version: int) -> None:
+        """Mark a version as rolled back (never load it by default)."""
+        self._set_status(version, STATUS_ROLLED_BACK)
+
+    def rollback(self) -> int:
+        """Demote the newest live entry; return the prior live version."""
+        index = self._index()
+        live = [
+            e for e in index if e.get("status", STATUS_LIVE) == STATUS_LIVE
+        ]
+        if len(live) < 2:
+            raise LookupError("no prior live version to roll back to")
+        self._set_status(live[-1]["version"], STATUS_ROLLED_BACK)
+        return live[-2]["version"]
+
     def load(self, version: Optional[int] = None) -> BrowserPolygraph:
-        """Load a promoted model (latest by default)."""
+        """Load a model: the newest *live* entry by default.
+
+        The entry's recorded sha256 is checked against the model file's
+        before parsing, so a swapped or stale file on disk cannot serve
+        under another version's name (the file's own content digest is
+        verified separately on load).
+        """
         index = self._index()
         if not index:
             raise LookupError("the registry is empty")
         if version is None:
-            entry = index[-1]
+            live = [
+                e for e in index if e.get("status", STATUS_LIVE) == STATUS_LIVE
+            ]
+            if not live:
+                raise LookupError("the registry has no live model")
+            entry = live[-1]
         else:
             matches = [e for e in index if e["version"] == version]
             if not matches:
                 raise LookupError(f"no model version {version}")
             entry = matches[0]
-        return BrowserPolygraph.load(self.root / entry["path"])
+        path = self.root / entry["path"]
+        recorded = entry.get("sha256")
+        if recorded is not None:
+            on_disk = stored_digest(path)
+            if on_disk is not None and on_disk != recorded:
+                raise ValueError(
+                    f"registry digest mismatch for v{entry['version']}: "
+                    f"index records {recorded[:12]}..., file carries "
+                    f"{on_disk[:12]}... (file swapped or index stale)"
+                )
+        return BrowserPolygraph.load(path)
 
 
 class RetrainingOrchestrator:
-    """Drift-triggered retraining with verified promotion."""
+    """Drift-triggered retraining with verified promotion.
+
+    Without ``rollout``, a verified candidate is promoted directly (the
+    pre-rollout behaviour).  With one, the candidate is staged and the
+    rollout manager owns the rest of its life; the orchestrator adopts
+    the candidate's window only when the rollout completes.
+    """
 
     def __init__(
         self,
         registry: ModelRegistry,
         accuracy_floor: float = 0.985,
         max_window_sessions: Optional[int] = None,
+        rollout=None,
     ) -> None:
         if not 0.0 < accuracy_floor < 1.0:
             raise ValueError("accuracy_floor must lie in (0, 1)")
         self.registry = registry
         self.accuracy_floor = accuracy_floor
         self.max_window_sessions = max_window_sessions
+        self.rollout = rollout
         self.window: Optional[Dataset] = None
         self.current: Optional[BrowserPolygraph] = None
         self.history: List[RetrainingOutcome] = []
@@ -160,15 +261,39 @@ class RetrainingOrchestrator:
             self.history.append(outcome)
             return outcome
 
+        if self.rollout is not None and self.rollout.in_flight:
+            outcome = RetrainingOutcome(
+                check_date=on,
+                drift_detected=True,
+                retrained=False,
+                promoted=False,
+                accuracy=self.current.accuracy,
+                detail="drift detected but a rollout is in flight; deferred",
+            )
+            self.history.append(outcome)
+            return outcome
+
         extended = self._extend_window(live)
         candidate = BrowserPolygraph().fit(extended)
-        promoted, detail = self._verify_candidate(candidate, live, drifted)
-        if promoted:
-            self.registry.promote(
-                candidate, on, f"drift in {', '.join(sorted(drifted))}"
+        verified, detail = self._verify_candidate(candidate, live, drifted)
+        reason = f"drift in {', '.join(sorted(drifted))}"
+        promoted = False
+        staged_version: Optional[int] = None
+        if verified and self.rollout is not None:
+            staged_version = self.registry.stage_candidate(candidate, on, reason)
+            self.rollout.begin(
+                candidate,
+                staged_version,
+                on_complete=lambda: self._adopt(candidate, extended),
             )
-            self.current = candidate
-            self.window = extended
+            detail = (
+                f"staged v{staged_version} for rollout "
+                f"({detail.replace('promoted', 'verified')})"
+            )
+        elif verified:
+            self.registry.promote(candidate, on, reason)
+            self._adopt(candidate, extended)
+            promoted = True
         outcome = RetrainingOutcome(
             check_date=on,
             drift_detected=True,
@@ -176,11 +301,17 @@ class RetrainingOrchestrator:
             promoted=promoted,
             accuracy=candidate.accuracy,
             detail=detail,
+            staged_version=staged_version,
         )
         self.history.append(outcome)
         return outcome
 
     # ------------------------------------------------------------------
+
+    def _adopt(self, candidate: BrowserPolygraph, window: Dataset) -> None:
+        """Make a candidate the orchestrator's current model + window."""
+        self.current = candidate
+        self.window = window
 
     def _extend_window(self, live: Dataset) -> Dataset:
         extended = Dataset.concatenate([self.window, live])

@@ -1,0 +1,45 @@
+"""Safe model rollout: shadow scoring, staged canary, automatic rollback.
+
+The bridge between the retraining loop (which produces candidate
+models) and the online scoring runtime (which must never regress):
+candidates shadow live traffic, ramp through canary stages with sticky
+per-session assignment, and either reach live or are rolled back the
+moment a guardrail breaks.
+"""
+
+from repro.rollout.canary import CanaryController, GuardrailBreach, session_bucket
+from repro.rollout.config import GuardrailConfig, RolloutConfig, RolloutError
+from repro.rollout.manager import RolloutManager
+from repro.rollout.shadow import DisagreementReport, ShadowScorer
+from repro.rollout.state import (
+    ABORTED,
+    CANARY,
+    IN_FLIGHT,
+    LIVE,
+    ROLLED_BACK,
+    SHADOW,
+    RolloutState,
+    load_state,
+    save_state,
+)
+
+__all__ = [
+    "ABORTED",
+    "CANARY",
+    "CanaryController",
+    "DisagreementReport",
+    "GuardrailBreach",
+    "GuardrailConfig",
+    "IN_FLIGHT",
+    "LIVE",
+    "ROLLED_BACK",
+    "RolloutConfig",
+    "RolloutError",
+    "RolloutManager",
+    "RolloutState",
+    "SHADOW",
+    "ShadowScorer",
+    "load_state",
+    "save_state",
+    "session_bucket",
+]

@@ -1,0 +1,284 @@
+"""Shadow scoring: the candidate sees traffic, users never see it.
+
+A configurable sample of live-arm requests is mirrored to the candidate
+model *after* the live verdict is decided, on a private
+:class:`~repro.runtime.pool.WorkerPool` — the mirror path can fall
+arbitrarily far behind (or shed outright) without ever adding a
+microsecond to the latency-critical path.
+
+Every comparison lands in a :class:`DisagreementReport`: the overall
+verdict-mismatch rate, the same broken down per user-agent release
+(drift is per-release, so a candidate that mis-scores exactly one new
+Firefox build must be visible as such), the flag-rate delta, and the
+risk-factor distribution shift between the two models.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import BrowserPolygraph
+from repro.runtime.pool import WorkerPool
+from repro.runtime.stats import RuntimeStats
+
+__all__ = ["DisagreementReport", "ShadowScorer"]
+
+# Risk-factor histogram key for sessions the model did not flag.
+_CLEAN = -1
+
+
+class DisagreementReport:
+    """Thread-safe accumulator of candidate-vs-live comparisons."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.comparisons = 0
+        self.mismatches = 0
+        self.live_flagged = 0
+        self.candidate_flagged = 0
+        self.shed = 0
+        self._per_ua: Dict[str, List[int]] = {}  # ua_key -> [comparisons, mismatches]
+        self._live_risk: Counter = Counter()
+        self._candidate_risk: Counter = Counter()
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        ua_key: str,
+        live_flagged: bool,
+        live_risk: Optional[int],
+        candidate_flagged: bool,
+        candidate_risk: Optional[int],
+    ) -> None:
+        """Fold one mirrored comparison into the report."""
+        mismatch = (live_flagged, live_risk) != (candidate_flagged, candidate_risk)
+        with self._lock:
+            self.comparisons += 1
+            if mismatch:
+                self.mismatches += 1
+            if live_flagged:
+                self.live_flagged += 1
+            if candidate_flagged:
+                self.candidate_flagged += 1
+            entry = self._per_ua.setdefault(ua_key, [0, 0])
+            entry[0] += 1
+            if mismatch:
+                entry[1] += 1
+            self._live_risk[live_risk if live_risk is not None else _CLEAN] += 1
+            self._candidate_risk[
+                candidate_risk if candidate_risk is not None else _CLEAN
+            ] += 1
+
+    def note_shed(self) -> None:
+        """Count a mirrored request the shadow pool refused (full queue)."""
+        with self._lock:
+            self.shed += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def disagreement_rate(self) -> float:
+        """Share of comparisons where the verdicts differed."""
+        with self._lock:
+            return self.mismatches / self.comparisons if self.comparisons else 0.0
+
+    @property
+    def live_flag_rate(self) -> float:
+        with self._lock:
+            return self.live_flagged / self.comparisons if self.comparisons else 0.0
+
+    @property
+    def candidate_flag_rate(self) -> float:
+        with self._lock:
+            return (
+                self.candidate_flagged / self.comparisons
+                if self.comparisons
+                else 0.0
+            )
+
+    @property
+    def flag_rate_delta(self) -> float:
+        """Candidate flag rate minus live flag rate (signed)."""
+        with self._lock:
+            if not self.comparisons:
+                return 0.0
+            return (self.candidate_flagged - self.live_flagged) / self.comparisons
+
+    @property
+    def risk_shift(self) -> float:
+        """Total-variation distance between the risk-factor distributions."""
+        with self._lock:
+            n = self.comparisons
+            if not n:
+                return 0.0
+            keys = set(self._live_risk) | set(self._candidate_risk)
+            return 0.5 * sum(
+                abs(self._live_risk.get(k, 0) - self._candidate_risk.get(k, 0)) / n
+                for k in keys
+            )
+
+    def per_ua(self) -> Dict[str, dict]:
+        """Per-release breakdown: comparisons, mismatches, rate."""
+        with self._lock:
+            return {
+                ua: {
+                    "comparisons": counts[0],
+                    "mismatches": counts[1],
+                    "rate": counts[1] / counts[0] if counts[0] else 0.0,
+                }
+                for ua, counts in sorted(self._per_ua.items())
+            }
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable point-in-time view (persisted with the state)."""
+        with self._lock:
+            per_ua = {ua: list(counts) for ua, counts in self._per_ua.items()}
+            live_risk = {str(k): v for k, v in self._live_risk.items()}
+            candidate_risk = {str(k): v for k, v in self._candidate_risk.items()}
+            comparisons = self.comparisons
+            mismatches = self.mismatches
+            live_flagged = self.live_flagged
+            candidate_flagged = self.candidate_flagged
+            shed = self.shed
+        return {
+            "comparisons": comparisons,
+            "mismatches": mismatches,
+            "live_flagged": live_flagged,
+            "candidate_flagged": candidate_flagged,
+            "shed": shed,
+            "per_ua": per_ua,
+            "live_risk": live_risk,
+            "candidate_risk": candidate_risk,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: Optional[dict]) -> "DisagreementReport":
+        """Rebuild a report from :meth:`snapshot` (empty when ``None``)."""
+        report = cls()
+        if not snapshot:
+            return report
+        report.comparisons = int(snapshot.get("comparisons", 0))
+        report.mismatches = int(snapshot.get("mismatches", 0))
+        report.live_flagged = int(snapshot.get("live_flagged", 0))
+        report.candidate_flagged = int(snapshot.get("candidate_flagged", 0))
+        report.shed = int(snapshot.get("shed", 0))
+        report._per_ua = {
+            ua: list(map(int, counts))
+            for ua, counts in snapshot.get("per_ua", {}).items()
+        }
+        report._live_risk = Counter(
+            {int(k): int(v) for k, v in snapshot.get("live_risk", {}).items()}
+        )
+        report._candidate_risk = Counter(
+            {int(k): int(v) for k, v in snapshot.get("candidate_risk", {}).items()}
+        )
+        return report
+
+
+class ShadowScorer:
+    """Scores mirrored traffic against the candidate, asynchronously.
+
+    ``mirror`` enqueues ``(values, ua_key, live verdict)`` and returns
+    immediately; a private worker pool runs the candidate model and
+    folds the comparison into ``report``.  ``on_comparison`` (the
+    rollout manager's guardrail check) fires after each comparison.
+    """
+
+    def __init__(
+        self,
+        candidate: BrowserPolygraph,
+        report: DisagreementReport,
+        stats: Optional[RuntimeStats] = None,
+        n_workers: int = 1,
+        queue_capacity: int = 2048,
+        on_comparison: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if not candidate.is_fitted:
+            raise ValueError("ShadowScorer requires a fitted candidate")
+        # One snapshot for the whole shadow run: a candidate is immutable
+        # while it is under evaluation.
+        _, self._detector = candidate.detection_snapshot()
+        self.report = report
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.on_comparison = on_comparison
+        self._accepting = True
+        self._submitted = 0
+        self._compared = 0
+        self._count_lock = threading.Lock()
+        self.pool = WorkerPool(
+            handler=self._compare,
+            n_workers=n_workers,
+            queue_capacity=queue_capacity,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShadowScorer":
+        self.pool.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting mirrors (cheap; callable from any thread)."""
+        self._accepting = False
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop and join the shadow workers."""
+        self._accepting = False
+        self.pool.shutdown(drain=drain)
+
+    # ------------------------------------------------------------------
+
+    def mirror(
+        self,
+        values: Tuple[int, ...],
+        ua_key: str,
+        live_flagged: bool,
+        live_risk: Optional[int],
+    ) -> bool:
+        """Enqueue one live-arm verdict for candidate comparison."""
+        if not self._accepting:
+            return False
+        if not self.pool.submit((values, ua_key, live_flagged, live_risk)):
+            self.report.note_shed()
+            return False
+        with self._count_lock:
+            self._submitted += 1
+        return True
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for every accepted mirror to be compared (tests, shutdown)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._count_lock:
+                if self._compared >= self._submitted:
+                    return True
+            time.sleep(0.002)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _compare(self, item: tuple) -> None:
+        values, ua_key, live_flagged, live_risk = item
+        started = time.perf_counter()
+        result = self._detector.evaluate_vectors(
+            np.asarray([values], dtype=float), [ua_key]
+        )[0]
+        self.stats.observe_stage(
+            "shadow", (time.perf_counter() - started) * 1000.0
+        )
+        self.report.record(
+            ua_key, live_flagged, live_risk, result.flagged, result.risk_factor
+        )
+        with self._count_lock:
+            self._compared += 1
+        if self.on_comparison is not None:
+            self.on_comparison()

@@ -216,6 +216,12 @@ class VerdictCache:
             return self._expirations
 
     @property
+    def invalidations(self) -> int:
+        """Times :meth:`invalidate` ran (model swaps + rollout stage shifts)."""
+        with self._lock:
+            return self._invalidations
+
+    @property
     def stale_drops(self) -> int:
         """Puts refused because their model generation was stale."""
         with self._lock:

@@ -73,6 +73,9 @@ _MISSING = object()  # memo sentinel: cached values may be None
 
 _SID_PREFIX = b'{"sid":"'
 
+# Cache-key tag separating candidate-arm verdicts during a rollout.
+_CANDIDATE_ARM = "__candidate__"
+
 
 @dataclass(frozen=True)
 class RuntimeConfig:
@@ -136,6 +139,8 @@ class _ScoreRequest:
         "suspicious_globals",
         "cache_key",
         "started_at",
+        "candidate",
+        "mirror",
     )
 
     def __init__(
@@ -147,6 +152,8 @@ class _ScoreRequest:
         suspicious_globals: Tuple[str, ...],
         cache_key: Optional[tuple],
         started_at: float,
+        candidate: bool = False,
+        mirror: bool = False,
     ) -> None:
         self.handle = handle
         self.session_id = session_id
@@ -155,6 +162,8 @@ class _ScoreRequest:
         self.suspicious_globals = suspicious_globals
         self.cache_key = cache_key
         self.started_at = started_at
+        self.candidate = candidate
+        self.mirror = mirror
 
     def fail(self, exc: BaseException) -> None:
         """Answer the caller with a typed internal-error verdict."""
@@ -235,6 +244,13 @@ class RuntimeScoringService:
         # model-independent, so this memo survives retrains.
         self._wire_memo: Dict[bytes, tuple] = {}
         self._closed = False
+        # Optional rollout manager (repro.rollout): routes sessions to a
+        # candidate arm and mirrors live verdicts for shadow comparison.
+        # Read once per request without the lock — attribute loads are
+        # atomic, and a stale read only means one request routes with
+        # the old split, which the stage-transition cache invalidation
+        # already accounts for.
+        self._rollout = None
         polygraph.add_retrain_listener(self._on_model_swap)
 
     # ------------------------------------------------------------------
@@ -298,11 +314,22 @@ class RuntimeScoringService:
                 FingerprintPayload(session_id, user_agent, values, 0.0, globs),
                 day=day,
             )
+        rollout = self._rollout
+        candidate = mirror = False
+        if rollout is not None:
+            candidate, mirror = rollout.route(session_id)
         cache_key: Optional[tuple] = None
         if self.cache is not None:
             cache_key = self.cache.make_key(values, ua_key)
+            if candidate:
+                # Arm-tagged key: the candidate's verdicts must never be
+                # served to live-arm sessions (or vice versa) while both
+                # models answer from the same cache.
+                cache_key = (_CANDIDATE_ARM,) + cache_key
             result = self.cache.get(cache_key)
             if result is not None:
+                if mirror:
+                    rollout.mirror(values, ua_key, result)
                 if globs:
                     result = self.polygraph.escalate_result(result, globs)
                 with self._lock:
@@ -324,7 +351,15 @@ class RuntimeScoringService:
                 )
         handle = PendingVerdict()
         request = _ScoreRequest(
-            handle, session_id, values, ua_key, globs, cache_key, started
+            handle,
+            session_id,
+            values,
+            ua_key,
+            globs,
+            cache_key,
+            started,
+            candidate=candidate,
+            mirror=mirror,
         )
         if not self.pool.is_running and not self._closed:
             self.pool.start()
@@ -335,6 +370,23 @@ class RuntimeScoringService:
                 )
             )
         return handle
+
+    # ------------------------------------------------------------------
+    # rollout
+
+    @property
+    def rollout(self):
+        """The attached rollout manager, or ``None``."""
+        return self._rollout
+
+    def attach_rollout(self, manager) -> None:
+        """Route traffic through a rollout manager from now on."""
+        self._rollout = manager
+
+    def detach_rollout(self, manager=None) -> None:
+        """Stop routing through ``manager`` (or whatever is attached)."""
+        if manager is None or self._rollout is manager:
+            self._rollout = None
 
     # ------------------------------------------------------------------
     # retraining
@@ -376,10 +428,19 @@ class RuntimeScoringService:
             stats.set_counter("requests_total", self.requests_total)
             stats.set_counter("requests_rejected", self.rejected_count)
         stats.set_gauge("queue_depth", self.pool.queue_depth)
+        stats.set_gauge(
+            "polygraph_model_generation",
+            self.polygraph.model_generation,
+            absolute=True,
+        )
         if self.cache is not None:
             self.cache.sync_stats()
             stats.set_gauge("cache_entries", len(self.cache))
-        return stats.render_prometheus()
+        lines = stats.render_prometheus()
+        rollout = self._rollout
+        if rollout is not None:
+            lines.extend(rollout.metrics_lines())
+        return lines
 
     # ------------------------------------------------------------------
     # internals
@@ -560,18 +621,65 @@ class RuntimeScoringService:
         )
 
     def _score_batch(self, requests: Sequence[_ScoreRequest]) -> None:
-        """Score one coalesced batch with a single vectorized model call."""
-        model_started = time.perf_counter()
-        generation, detector = self.polygraph.detection_snapshot()
-        matrix = np.asarray([r.values for r in requests], dtype=float)
-        results = detector.evaluate_vectors(
-            matrix, [r.ua_key for r in requests]
-        )
+        """Score one coalesced batch, one vectorized model call per arm."""
+        rollout = self._rollout
+        live_requests: List[_ScoreRequest] = []
+        candidate_requests: List[_ScoreRequest] = []
+        for request in requests:
+            (candidate_requests if request.candidate else live_requests).append(
+                request
+            )
+        candidate_detector = None
+        if candidate_requests:
+            if rollout is not None:
+                candidate_detector = rollout.candidate_detector()
+            if candidate_detector is None:
+                # The rollout ended while these requests were queued:
+                # serve them from the live model, uncached (their
+                # arm-tagged keys belong to a rollout that is over).
+                for request in candidate_requests:
+                    request.cache_key = None
+                live_requests.extend(candidate_requests)
+                candidate_requests = []
         stats = self.runtime_stats
         stats.observe_batch(len(requests))
-        stats.observe_stage(
-            "model", (time.perf_counter() - model_started) * 1000.0
-        )
+        if live_requests:
+            model_started = time.perf_counter()
+            generation, detector = self.polygraph.detection_snapshot()
+            matrix = np.asarray([r.values for r in live_requests], dtype=float)
+            results = detector.evaluate_vectors(
+                matrix, [r.ua_key for r in live_requests]
+            )
+            stats.observe_stage(
+                "model", (time.perf_counter() - model_started) * 1000.0
+            )
+            if rollout is not None:
+                for request, result in zip(live_requests, results):
+                    if request.mirror:
+                        rollout.mirror(request.values, request.ua_key, result)
+            self._complete_arm(live_requests, results, generation)
+        if candidate_requests:
+            candidate_started = time.perf_counter()
+            generation = self.polygraph.model_generation
+            matrix = np.asarray(
+                [r.values for r in candidate_requests], dtype=float
+            )
+            results = candidate_detector.evaluate_vectors(
+                matrix, [r.ua_key for r in candidate_requests]
+            )
+            rollout.observe_candidate_batch(
+                len(candidate_requests),
+                (time.perf_counter() - candidate_started) * 1000.0,
+            )
+            self._complete_arm(candidate_requests, results, generation)
+
+    def _complete_arm(
+        self,
+        requests: Sequence[_ScoreRequest],
+        results: Sequence,
+        generation: int,
+    ) -> None:
+        """Cache, escalate, and answer one arm's share of a batch."""
         completed_at = time.perf_counter()
         scored = 0
         flagged = 0

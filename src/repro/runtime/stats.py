@@ -48,6 +48,7 @@ class RuntimeStats:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._peaks: Dict[str, float] = {}
+        self._absolute: set = set()
         self._batch_sizes: Deque[int] = deque(maxlen=reservoir)
         self._stage_ms: Dict[str, Deque[float]] = {}
 
@@ -74,12 +75,21 @@ class RuntimeStats:
         with self._lock:
             self._counters[name] = int(value)
 
-    def set_gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name``, tracking its peak."""
+    def set_gauge(self, name: str, value: float, absolute: bool = False) -> None:
+        """Set gauge ``name``, tracking its peak.
+
+        ``absolute=True`` marks the name as already fully qualified:
+        :meth:`render_prometheus` emits it verbatim instead of under the
+        ``polygraph_runtime_`` prefix (used for fleet-level gauges such
+        as ``polygraph_model_generation``, which dashboards correlate
+        with verdict shifts across services).
+        """
         with self._lock:
             self._gauges[name] = float(value)
             if value > self._peaks.get(name, float("-inf")):
                 self._peaks[name] = float(value)
+            if absolute:
+                self._absolute.add(name)
 
     def gauge(self, name: str) -> float:
         """Current gauge value (0 if never set)."""
@@ -158,12 +168,14 @@ class RuntimeStats:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             peaks = dict(self._peaks)
+            absolute = set(self._absolute)
             batch_sizes = list(self._batch_sizes)
             stages = {k: list(v) for k, v in self._stage_ms.items()}
         return {
             "counters": counters,
             "gauges": gauges,
             "peaks": peaks,
+            "absolute_gauges": absolute,
             "batch_sizes": batch_sizes,
             "stage_latency_ms": stages,
         }
@@ -177,6 +189,10 @@ class RuntimeStats:
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {snap['counters'][name]}")
         for name in sorted(snap["gauges"]):
+            if name in snap["absolute_gauges"]:
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {snap['gauges'][name]:g}")
+                continue
             metric = f"{prefix}_{name}"
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {snap['gauges'][name]:g}")

@@ -7,7 +7,9 @@ under any WSGI server (``wsgiref.simple_server`` works for demos):
   verdict as JSON (``202`` accepted, ``400`` rejected);
 * ``GET  /health``  — liveness + model metadata;
 * ``GET  /metrics`` — scored/flagged counters and the quarantine
-  breakdown, Prometheus-style plain text.
+  breakdown, Prometheus-style plain text;
+* ``GET  /rollout`` — status of the in-flight model rollout (stage,
+  disagreement report), when the runtime has one attached.
 
 The app never exposes more than the verdict: the cluster table and the
 model internals stay server-side, which matters because Algorithm 1's
@@ -56,6 +58,8 @@ class CollectionApp:
             return self._health(start_response)
         if method == "GET" and path == "/metrics":
             return self._metrics(start_response)
+        if method == "GET" and path == "/rollout":
+            return self._rollout(start_response)
         return self._respond(
             start_response, "404 Not Found", {"error": "unknown endpoint"}
         )
@@ -96,6 +100,16 @@ class CollectionApp:
                 "known_user_agents": len(model.ua_to_cluster),
             },
         )
+
+    def _rollout(self, start_response: Callable) -> List[bytes]:
+        manager = getattr(self.service, "rollout", None)
+        if manager is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "no rollout in progress"},
+            )
+        return self._respond(start_response, "200 OK", manager.status_dict())
 
     def _metrics(self, start_response: Callable) -> List[bytes]:
         quarantine = self.service.validator.quarantine

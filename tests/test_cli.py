@@ -82,6 +82,68 @@ def test_bench_runtime_smoke(capsys):
     assert "cache hit rate" in out
 
 
+def test_rollout_cli_lifecycle(artifacts, tmp_path, capsys):
+    from datetime import date
+
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.core.retraining import ModelRegistry
+
+    _, model_path = artifacts
+    registry_dir = str(tmp_path / "registry")
+    registry = ModelRegistry(registry_dir)
+    pipeline = BrowserPolygraph.load(model_path)
+    registry.promote(pipeline, date(2023, 7, 1), "bootstrap")
+    registry.stage_candidate(pipeline, date(2023, 8, 1), "candidate")
+
+    assert main(["rollout", registry_dir, "start", "--stages", "0.25,1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "started in shadow" in out
+
+    assert main(["rollout", registry_dir, "status"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["status"] == "shadow"
+    assert status["candidate_version"] == 2
+
+    for expectation in ("canary stage 0", "canary stage 1", "is live"):
+        assert main(["rollout", registry_dir, "promote"]) == 0
+        assert expectation in capsys.readouterr().out
+    assert registry.live_version == 2
+
+
+def test_rollout_cli_abort_and_errors(artifacts, tmp_path, capsys):
+    from datetime import date
+
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.core.retraining import ModelRegistry
+
+    _, model_path = artifacts
+    registry_dir = str(tmp_path / "registry")
+
+    # Status/abort before any rollout is a clean error, not a crash.
+    assert main(["rollout", registry_dir, "status"]) == 2
+    capsys.readouterr()
+
+    registry = ModelRegistry(registry_dir)
+    pipeline = BrowserPolygraph.load(model_path)
+    registry.promote(pipeline, date(2023, 7, 1), "bootstrap")
+
+    # No staged candidate yet.
+    assert main(["rollout", registry_dir, "start"]) == 2
+    capsys.readouterr()
+
+    registry.stage_candidate(pipeline, date(2023, 8, 1), "candidate")
+    assert main(["rollout", registry_dir, "start"]) == 0
+    capsys.readouterr()
+    assert main(["rollout", registry_dir, "abort"]) == 0
+    assert "aborted" in capsys.readouterr().out
+    assert registry.live_version == 1
+
+
+def test_serve_requires_model_or_registry(capsys):
+    assert main(["serve"]) == 2
+    assert "--registry" in capsys.readouterr().err
+
+
 def test_serve_parser_accepts_runtime_flags(artifacts):
     import argparse
 

@@ -290,6 +290,46 @@ class TestDrift:
         records = fresh.drift_report(drift_window)
         assert not records or not fresh.retrain_needed(records)
 
+    def test_window_with_no_new_releases_is_empty(self, trained, small_dataset):
+        # Every release in the training window is already in the table,
+        # so there is nothing to evaluate — and nothing to divide by.
+        assert trained.drift_report(small_dataset) == []
+
+    def test_huge_min_sessions_skips_every_release(self, trained, drift_window):
+        records = trained.drift_report(
+            drift_window, min_sessions=len(drift_window) + 1
+        )
+        assert records == []
+
+    def test_release_without_prior_in_table_has_no_baseline(
+        self, trained, drift_window
+    ):
+        import copy
+
+        # Strip every Chrome release from the trained table: Chrome
+        # releases in the window become "new", and none of them has a
+        # same-vendor predecessor to compare clusters against.
+        model = copy.copy(trained.cluster_model)
+        model.ua_to_cluster = {
+            ua: cluster
+            for ua, cluster in model.ua_to_cluster.items()
+            if not ua.startswith("chrome")
+        }
+        detector = DriftDetector(model)
+        records = [
+            r
+            for r in detector.evaluate_window(drift_window, min_sessions=1)
+            if r.ua_key.startswith("chrome")
+        ]
+        assert records
+        for record in records:
+            assert record.baseline_ua is None
+            assert record.baseline_cluster is None
+            # No baseline → a cluster change is undecidable, so only the
+            # accuracy arm of the trigger can fire.
+            assert not record.cluster_changed
+            assert record.retrain_needed(0.98) == (record.accuracy < 0.98)
+
 
 class TestPersistence:
     def test_save_load_roundtrip(self, trained, small_dataset, tmp_path):

@@ -1,10 +1,17 @@
 """Retraining orchestrator and model registry tests."""
 
+import json
 from datetime import date
 
 import pytest
 
-from repro.core.retraining import ModelRegistry, RetrainingOrchestrator
+from repro.core.retraining import (
+    STATUS_CANDIDATE,
+    STATUS_LIVE,
+    STATUS_ROLLED_BACK,
+    ModelRegistry,
+    RetrainingOrchestrator,
+)
 from repro.traffic.generator import TrafficConfig, TrafficSimulator
 
 
@@ -55,6 +62,68 @@ class TestModelRegistry:
         with pytest.raises(LookupError):
             registry.load(version=9)
 
+    def test_entries_carry_digest_and_status(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "first")
+        entry = registry.versions()[0]
+        assert entry["status"] == STATUS_LIVE
+        assert len(entry["sha256"]) == 64
+
+    def test_staged_candidate_not_loaded_by_default(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "first")
+        registry.stage_candidate(trained, date(2023, 8, 1), "staged")
+        assert registry.latest_version == 2
+        assert registry.live_version == 1
+        assert registry.versions()[1]["status"] == STATUS_CANDIDATE
+        # load() follows live status, not recency.
+        assert registry.load().cluster_table == trained.cluster_table
+        registry.mark_live(2)
+        assert registry.live_version == 2
+
+    def test_rollback_restores_prior_model_bit_for_bit(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "v1")
+        v1_bytes = (tmp_path / "model-v001.json").read_bytes()
+        registry.promote(trained, date(2023, 8, 1), "v2")
+
+        prior = registry.rollback()
+        assert prior == 1
+        assert registry.live_version == 1
+        assert registry.versions()[1]["status"] == STATUS_ROLLED_BACK
+        # The v1 artifact on disk never moved.
+        assert (tmp_path / "model-v001.json").read_bytes() == v1_bytes
+        # And reloading + re-saving it reproduces those bytes exactly.
+        reloaded = registry.load()
+        reloaded.save(tmp_path / "resaved.json")
+        assert (tmp_path / "resaved.json").read_bytes() == v1_bytes
+
+    def test_rollback_without_prior_rejected(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "only")
+        with pytest.raises(LookupError):
+            registry.rollback()
+
+    def test_tampered_model_file_rejected(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "v1")
+        path = tmp_path / "model-v001.json"
+        document = json.loads(path.read_text())
+        document["accuracy"] = 1.0  # hand-edit the stored model
+        path.write_text(json.dumps(document, indent=2))
+        with pytest.raises(ValueError, match="digest"):
+            registry.load(1)
+
+    def test_swapped_model_file_rejected(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.promote(trained, date(2023, 7, 1), "v1")
+        index_path = tmp_path / "registry.json"
+        index = json.loads(index_path.read_text())
+        index[0]["sha256"] = "0" * 64  # index no longer matches the file
+        index_path.write_text(json.dumps(index, indent=2))
+        with pytest.raises(ValueError, match="digest"):
+            registry.load(1)
+
 
 class TestOrchestrator:
     def test_bootstrap_promotes_v1(self, small_dataset, tmp_path):
@@ -89,6 +158,45 @@ class TestOrchestrator:
         # And a repeat check on the same window is quiet.
         repeat = orchestrator.scheduled_check(autumn, date(2023, 11, 6))
         assert not repeat.drift_detected
+
+    def test_drift_stages_candidate_when_rollout_attached(
+        self, small_dataset, autumn, tmp_path
+    ):
+        from repro.rollout import LIVE, SHADOW, RolloutConfig, RolloutManager
+
+        registry = ModelRegistry(tmp_path)
+        manager = RolloutManager(
+            registry,
+            config=RolloutConfig(stages=(1.0,)),
+            state_path=tmp_path / "rollout.json",
+        )
+        orchestrator = RetrainingOrchestrator(registry, rollout=manager)
+        orchestrator.bootstrap(small_dataset, date(2023, 7, 1))
+        baseline = orchestrator.current
+
+        outcome = orchestrator.scheduled_check(autumn, date(2023, 11, 5))
+        assert outcome.drift_detected and outcome.retrained
+        # Not promoted: staged for rollout instead.
+        assert not outcome.promoted
+        assert outcome.staged_version == 2
+        assert registry.versions()[1]["status"] == STATUS_CANDIDATE
+        assert registry.live_version == 1
+        assert manager.in_flight and manager.state.status == SHADOW
+        assert orchestrator.current is baseline
+
+        # While the rollout is in flight, further checks defer.
+        repeat = orchestrator.scheduled_check(autumn, date(2023, 11, 6))
+        assert repeat.drift_detected and not repeat.retrained
+        assert "deferred" in repeat.detail
+
+        # Rollout completes → the orchestrator adopts the candidate.
+        manager.advance(force=True)
+        state = manager.advance(force=True)
+        assert state.status == LIVE
+        assert registry.live_version == 2
+        assert orchestrator.current is not baseline
+        quiet = orchestrator.scheduled_check(autumn, date(2023, 11, 7))
+        assert not quiet.drift_detected
 
     def test_window_cap_slides(self, small_dataset, autumn, tmp_path):
         cap = len(small_dataset)
