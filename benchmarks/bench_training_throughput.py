@@ -1,0 +1,353 @@
+"""End-to-end retraining throughput: storage format x worker count.
+
+The paper's deployment retrains on a ~205k-session window after every
+major browser release (Section 6.6).  This benchmark measures that
+offline path — export from the session store, preprocessing (scaling +
+Isolation Forest outlier removal), PCA, the elbow k-sweep, and the
+final k-means fit — across a matrix of configurations:
+
+* ``(jsonl, jobs=1)``   — the legacy path: line-by-line JSON parsing
+  and a fully serial k-search;
+* ``(columnar, jobs=1)`` — memory-mapped columnar export, serial fit;
+* ``(columnar, jobs=N)`` — memory-mapped export plus the process-pool
+  k-search.
+
+Every cell must produce the **same model**: identical selected k,
+bit-identical centroids, equal labels/inertia, and an equal
+cluster-to-user-agent table — the determinism contract of
+``repro.ml.parallel`` asserted here on the real pipeline, not just in
+unit tests.  Results are written to ``BENCH_training.json`` so future
+PRs have a trajectory.
+
+Direct run (CI uses ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_training_throughput.py --sessions 60000
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from datetime import date
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.preprocessing import Preprocessor
+from repro.fingerprint.script import FingerprintPayload
+from repro.ml import kmeans as kmeans_mod
+from repro.ml.elbow import elbow_analysis, elbow_seed, select_k_elbow
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import majority_cluster_map
+from repro.ml.pca import PCA
+from repro.service.storage import SessionStore
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+
+SESSIONS = int(os.environ.get("REPRO_TRAIN_BENCH_SESSIONS", "60000"))
+ELBOW_KS = tuple(range(2, 13))
+
+# Acceptance bounds (full runs only; --smoke skips the ratio checks
+# because sub-second cells are all setup noise).
+MIN_RETRAIN_SPEEDUP = 2.0
+MIN_EXPORT_SPEEDUP = 3.0
+
+
+@dataclass
+class CellResult:
+    """One (storage, jobs) configuration's timings and model."""
+
+    storage: str
+    jobs: int
+    times: Dict[str, float]
+    selected_k: int
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    table: Dict[str, int]
+
+    @property
+    def total(self) -> float:
+        return sum(self.times.values())
+
+
+@dataclass
+class TrainingBenchReport:
+    sessions: int
+    jobs: int
+    cells: List[CellResult] = field(default_factory=list)
+
+    def cell(self, storage: str, jobs: int) -> CellResult:
+        for cell in self.cells:
+            if cell.storage == storage and cell.jobs == jobs:
+                return cell
+        raise KeyError((storage, jobs))
+
+    @property
+    def export_speedup(self) -> float:
+        jsonl = self.cell("jsonl", 1).times["export"]
+        columnar = self.cell("columnar", 1).times["export"]
+        return jsonl / columnar if columnar > 0 else float("inf")
+
+    @property
+    def retrain_speedup(self) -> float:
+        baseline = self.cell("jsonl", 1).total
+        fast = self.cell("columnar", self.jobs).total
+        return baseline / fast if fast > 0 else float("inf")
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "training_throughput",
+            "sessions": self.sessions,
+            "jobs": self.jobs,
+            "elbow_ks": list(ELBOW_KS),
+            "selected_k": self.cells[0].selected_k,
+            "export_speedup": self.export_speedup,
+            "retrain_speedup": self.retrain_speedup,
+            "cells": [
+                {
+                    "storage": cell.storage,
+                    "jobs": cell.jobs,
+                    "times_s": {k: round(v, 6) for k, v in cell.times.items()},
+                    "total_s": round(cell.total, 6),
+                    "inertia": cell.inertia,
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "Training throughput (export -> preprocess -> elbow -> fit)",
+            f"  sessions             {self.sessions}",
+            f"  selected k           {self.cells[0].selected_k}",
+        ]
+        for cell in self.cells:
+            stages = "  ".join(
+                f"{name}={seconds:.3f}s" for name, seconds in cell.times.items()
+            )
+            lines.append(
+                f"  [{cell.storage:>8} jobs={cell.jobs}]  "
+                f"total={cell.total:.3f}s  ({stages})"
+            )
+        lines.append(f"  export speedup       {self.export_speedup:.2f}x")
+        lines.append(
+            f"  end-to-end speedup   {self.retrain_speedup:.2f}x "
+            f"(jsonl/1 vs columnar/{self.jobs})"
+        )
+        return "\n".join(lines)
+
+
+def _build_stores(
+    root: Path, n_sessions: int, seed: int
+) -> Tuple[Path, Path]:
+    """Simulate a traffic window and persist it twice: JSONL + columnar."""
+    config = TrafficConfig(seed=seed).scaled(n_sessions)
+    dataset = TrafficSimulator(config).generate()
+
+    jsonl_root = root / "store-jsonl"
+    store = SessionStore(jsonl_root)
+    days = dataset.days.astype("datetime64[D]").astype(object)
+    store.append_many(
+        (
+            FingerprintPayload(
+                session_id=str(dataset.session_ids[idx]),
+                user_agent=str(dataset.user_agents[idx]),
+                values=tuple(int(v) for v in dataset.features[idx]),
+                service_time_ms=0.0,
+            ),
+            days[idx],
+        )
+        for idx in range(len(dataset))
+    )
+    store.flush()
+
+    columnar_root = root / "store-columnar"
+    shutil.copytree(jsonl_root, columnar_root)
+    SessionStore(columnar_root).migrate()
+    return jsonl_root, columnar_root
+
+
+def run_retrain(store_root: Path, storage: str, jobs: int) -> CellResult:
+    """One full retrain pass over a store, with per-stage timings."""
+    config = PipelineConfig()
+    times: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    dataset = SessionStore(store_root).export_dataset()
+    matrix = dataset.matrix()
+    times["export"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scaled, inliers = Preprocessor(config).fit(matrix)
+    train = scaled[inliers]
+    train_keys = [
+        k for k, keep in zip(dataset.ua_keys.tolist(), inliers) if keep
+    ]
+    pca = PCA(n_components=config.n_pca_components).fit(train)
+    projected = pca.transform(train)
+    times["preprocess"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    curve = elbow_analysis(
+        projected,
+        ELBOW_KS,
+        n_init=3,
+        random_state=config.random_state,
+        jobs=jobs,
+    )
+    selected_k = select_k_elbow(curve)
+    times["elbow"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    model = KMeans(
+        n_clusters=selected_k,
+        n_init=config.kmeans_n_init,
+        random_state=elbow_seed(config.random_state, selected_k),
+        jobs=jobs,
+    ).fit(projected)
+    table = majority_cluster_map(train_keys, model.labels_)
+    times["fit"] = time.perf_counter() - start
+
+    return CellResult(
+        storage=storage,
+        jobs=jobs,
+        times=times,
+        selected_k=selected_k,
+        centers=model.cluster_centers_,
+        labels=model.labels_,
+        inertia=float(model.inertia_),
+        table=dict(table),
+    )
+
+
+def _assert_identical(cells: List[CellResult]) -> None:
+    """Every cell must have produced the same model, bit for bit."""
+    reference = cells[0]
+    for cell in cells[1:]:
+        tag = f"({cell.storage}, jobs={cell.jobs})"
+        assert cell.selected_k == reference.selected_k, (
+            f"{tag} selected k={cell.selected_k}, "
+            f"expected {reference.selected_k}"
+        )
+        assert np.array_equal(cell.centers, reference.centers), (
+            f"{tag} centroids differ from the reference run"
+        )
+        assert np.array_equal(cell.labels, reference.labels), (
+            f"{tag} labels differ from the reference run"
+        )
+        assert cell.inertia == reference.inertia, (
+            f"{tag} inertia {cell.inertia} != {reference.inertia}"
+        )
+        assert cell.table == reference.table, (
+            f"{tag} cluster->UA table differs from the reference run"
+        )
+
+
+def _assert_pool_parity() -> None:
+    """Force real pool execution on a small matrix and compare exactly.
+
+    The work-size gate normally keeps tiny fits inline; dropping it to
+    zero makes the parallel run actually cross process boundaries, so
+    this catches seed-plumbing or result-ordering regressions even on
+    hosts where the benchmark matrices stay under the gate.
+    """
+    rng = np.random.default_rng(11)
+    matrix = np.repeat(rng.normal(size=(60, 6)), 5, axis=0)
+    saved = kmeans_mod._MIN_PARALLEL_WORK
+    kmeans_mod._MIN_PARALLEL_WORK = 0
+    try:
+        serial = KMeans(n_clusters=5, n_init=4, random_state=29, jobs=1).fit(
+            matrix
+        )
+        pooled = KMeans(n_clusters=5, n_init=4, random_state=29, jobs=4).fit(
+            matrix
+        )
+    finally:
+        kmeans_mod._MIN_PARALLEL_WORK = saved
+    assert np.array_equal(serial.cluster_centers_, pooled.cluster_centers_)
+    assert np.array_equal(serial.labels_, pooled.labels_)
+    assert serial.inertia_ == pooled.inertia_
+
+
+def run_training_benchmark(
+    n_sessions: int = SESSIONS, jobs: int = 4, seed: int = 7
+) -> TrainingBenchReport:
+    root = Path(tempfile.mkdtemp(prefix="polygraph-train-bench-"))
+    try:
+        jsonl_root, columnar_root = _build_stores(root, n_sessions, seed)
+        report = TrainingBenchReport(sessions=n_sessions, jobs=jobs)
+        report.cells.append(run_retrain(jsonl_root, "jsonl", 1))
+        report.cells.append(run_retrain(columnar_root, "columnar", 1))
+        report.cells.append(run_retrain(columnar_root, "columnar", jobs))
+        _assert_identical(report.cells)
+        _assert_pool_parity()
+        return report
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _write_report(report: TrainingBenchReport, output: Path) -> None:
+    output.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+    # Validate the artifact the way CI consumes it.
+    parsed = json.loads(output.read_text())
+    assert parsed["benchmark"] == "training_throughput"
+    assert len(parsed["cells"]) == 3
+
+
+def test_training_throughput():
+    """Pytest entry: a small but real run with all parity assertions."""
+    report = run_training_benchmark(
+        n_sessions=int(os.environ.get("REPRO_TRAIN_BENCH_SESSIONS", "4000")),
+        jobs=2,
+    )
+    assert report.cell("jsonl", 1).selected_k >= 2
+    assert report.export_speedup > 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the offline retraining path"
+    )
+    parser.add_argument("--sessions", type=int, default=SESSIONS)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run: keep the parity assertions, skip the ratio checks",
+    )
+    parser.add_argument("--output", default="BENCH_training.json")
+    args = parser.parse_args(argv)
+
+    sessions = min(args.sessions, 1500) if args.smoke else args.sessions
+    report = run_training_benchmark(
+        n_sessions=sessions, jobs=args.jobs, seed=args.seed
+    )
+    print(report.render())
+    _write_report(report, Path(args.output))
+    print(f"wrote {args.output}")
+
+    if not args.smoke:
+        if report.export_speedup < MIN_EXPORT_SPEEDUP:
+            print(
+                f"FAIL: columnar export speedup {report.export_speedup:.2f}x "
+                f"< {MIN_EXPORT_SPEEDUP}x"
+            )
+            return 1
+        if report.retrain_speedup < MIN_RETRAIN_SPEEDUP:
+            print(
+                f"FAIL: end-to-end speedup {report.retrain_speedup:.2f}x "
+                f"< {MIN_RETRAIN_SPEEDUP}x"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

@@ -2,7 +2,12 @@
 
 Subcommands:
 
-* ``train``       — generate the training window, fit, save the model;
+* ``train``       — generate the training window, fit, save the model
+  (``--jobs`` fans the k-means restarts over worker processes);
+* ``retrain``     — refit an existing model on a dataset or a session
+  store's export and save the refreshed model;
+* ``store``       — inspect (``info``) or seal (``migrate``) a session
+  store's segments into the columnar training format;
 * ``detect``      — load a model and evaluate a saved dataset;
 * ``drift``       — load a model and run the drift check on a window;
 * ``experiment``  — regenerate any paper table/figure by name;
@@ -75,6 +80,45 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--dataset", help="training dataset .npz (default: simulate)")
     train.add_argument("--sessions", type=int, default=205_000)
     train.add_argument("--seed", type=int, default=7)
+    train.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the k-means restarts (-1: all cores); "
+        "the trained model is identical at any setting",
+    )
+
+    retrain = sub.add_parser(
+        "retrain", help="refit an existing model and save the result"
+    )
+    retrain.add_argument("model", help="existing model .json path")
+    retrain.add_argument(
+        "--dataset", help="training dataset .npz (or use --store)"
+    )
+    retrain.add_argument(
+        "--store", help="session store directory to export and retrain on"
+    )
+    retrain.add_argument(
+        "--output",
+        help="where to save the refreshed model (default: overwrite)",
+    )
+    retrain.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the k-means restarts (-1: all cores)",
+    )
+
+    store = sub.add_parser(
+        "store", help="manage a session store's segments"
+    )
+    store.add_argument(
+        "action",
+        choices=["info", "migrate"],
+        help="info: summarize segments; migrate: seal JSONL segments "
+        "into the columnar (memory-mappable) format in place",
+    )
+    store.add_argument("root", help="session store directory")
 
     detect = sub.add_parser("detect", help="evaluate a dataset with a saved model")
     detect.add_argument("model", help="model .json path")
@@ -189,12 +233,58 @@ def _cmd_train(args: argparse.Namespace) -> int:
     else:
         config = TrafficConfig(seed=args.seed).scaled(args.sessions)
         dataset = TrafficSimulator(config).generate()
-    pipeline = BrowserPolygraph().fit(dataset)
+    pipeline = BrowserPolygraph().fit(dataset, jobs=args.jobs)
     pipeline.save(args.model)
     print(
         f"trained on {len(dataset)} sessions; accuracy "
         f"{pipeline.accuracy:.4f}; model saved to {args.model}"
     )
+    return 0
+
+
+def _cmd_retrain(args: argparse.Namespace) -> int:
+    if bool(args.dataset) == bool(args.store):
+        print(
+            "retrain: provide exactly one of --dataset or --store",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dataset:
+        dataset = Dataset.load(args.dataset)
+    else:
+        from repro.service.storage import SessionStore
+
+        dataset = SessionStore(args.store).export_dataset()
+    pipeline = BrowserPolygraph.load(args.model)
+    pipeline.retrain(dataset, jobs=args.jobs)
+    output = args.output or args.model
+    pipeline.save(output)
+    print(
+        f"retrained on {len(dataset)} sessions; accuracy "
+        f"{pipeline.accuracy:.4f}; model saved to {output}"
+    )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.service.storage import SessionStore
+
+    store = SessionStore(args.root)
+    if args.action == "migrate":
+        converted = store.migrate()
+        if converted:
+            print(f"sealed {len(converted)} segment(s) into columnar format:")
+            for path in converted:
+                print(f"  {path.name}")
+        else:
+            print("no JSONL segments to migrate")
+        return 0
+    # info
+    paths = store.segments()
+    print(f"{len(store)} records in {len(paths)} segment(s) at {store.root}")
+    for path in paths:
+        kind = "columnar" if path.suffix == ".npz" else "jsonl"
+        print(f"  {path.name}  {kind}  {path.stat().st_size} bytes")
     return 0
 
 
@@ -440,6 +530,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "train": _cmd_train,
+        "retrain": _cmd_retrain,
+        "store": _cmd_store,
         "detect": _cmd_detect,
         "drift": _cmd_drift,
         "experiment": _cmd_experiment,

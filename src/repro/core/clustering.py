@@ -85,8 +85,13 @@ class ClusterModel:
         matrix: np.ndarray,
         ua_keys: Sequence[str],
         align_rare: bool = True,
+        jobs: int = 1,
     ) -> "ClusterModel":
-        """Train the full chain and build the cluster table."""
+        """Train the full chain and build the cluster table.
+
+        ``jobs`` sets the worker-process count for the KMeans restarts;
+        any value yields a bit-identical model.
+        """
         data = np.asarray(matrix, dtype=float)
         keys = list(ua_keys)
         if data.shape[0] != len(keys):
@@ -105,6 +110,7 @@ class ClusterModel:
             n_clusters=self.config.n_clusters,
             n_init=self.config.kmeans_n_init,
             random_state=self.config.random_state,
+            jobs=jobs,
         ).fit(projected)
 
         labels = self.kmeans.labels_

@@ -54,21 +54,34 @@ class BrowserPolygraph:
     # ------------------------------------------------------------------
     # training
 
-    def fit(self, dataset: Dataset, align_rare: bool = True) -> "BrowserPolygraph":
-        """Train the clustering model on a FinOrg-shaped dataset."""
+    def fit(
+        self, dataset: Dataset, align_rare: bool = True, jobs: int = 1
+    ) -> "BrowserPolygraph":
+        """Train the clustering model on a FinOrg-shaped dataset.
+
+        ``jobs`` fans the KMeans restarts over worker processes; the
+        trained model is bit-identical at any setting.
+        """
         if dataset.n_features != len(self.specs):
             raise ValueError(
                 f"dataset has {dataset.n_features} features, "
                 f"pipeline expects {len(self.specs)}"
             )
         model = ClusterModel(self.config, specs=self.specs)
-        model.fit(dataset.matrix(), list(dataset.ua_keys), align_rare=align_rare)
+        model.fit(
+            dataset.matrix(),
+            list(dataset.ua_keys),
+            align_rare=align_rare,
+            jobs=jobs,
+        )
         self._install_model(model)
         return self
 
-    def retrain(self, dataset: Dataset, align_rare: bool = True) -> "BrowserPolygraph":
+    def retrain(
+        self, dataset: Dataset, align_rare: bool = True, jobs: int = 1
+    ) -> "BrowserPolygraph":
         """Retrain from scratch on an extended window (drift response)."""
-        return self.fit(dataset, align_rare=align_rare)
+        return self.fit(dataset, align_rare=align_rare, jobs=jobs)
 
     def install(self, model: ClusterModel) -> "BrowserPolygraph":
         """Atomically adopt an externally trained :class:`ClusterModel`.

@@ -212,6 +212,7 @@ class RetrainingOrchestrator:
         accuracy_floor: float = 0.985,
         max_window_sessions: Optional[int] = None,
         rollout=None,
+        jobs: int = 1,
     ) -> None:
         if not 0.0 < accuracy_floor < 1.0:
             raise ValueError("accuracy_floor must lie in (0, 1)")
@@ -219,6 +220,9 @@ class RetrainingOrchestrator:
         self.accuracy_floor = accuracy_floor
         self.max_window_sessions = max_window_sessions
         self.rollout = rollout
+        # Worker processes for every fit this orchestrator runs; results
+        # are bit-identical at any setting (see repro.ml.parallel).
+        self.jobs = jobs
         self.window: Optional[Dataset] = None
         self.current: Optional[BrowserPolygraph] = None
         self.history: List[RetrainingOutcome] = []
@@ -228,7 +232,7 @@ class RetrainingOrchestrator:
     def bootstrap(self, training: Dataset, on: date) -> BrowserPolygraph:
         """Initial training and promotion (version 1)."""
         self.window = training
-        polygraph = BrowserPolygraph().fit(training)
+        polygraph = BrowserPolygraph().fit(training, jobs=self.jobs)
         if polygraph.accuracy < self.accuracy_floor:
             raise RuntimeError(
                 f"bootstrap accuracy {polygraph.accuracy:.4f} below the "
@@ -274,7 +278,7 @@ class RetrainingOrchestrator:
             return outcome
 
         extended = self._extend_window(live)
-        candidate = BrowserPolygraph().fit(extended)
+        candidate = BrowserPolygraph().fit(extended, jobs=self.jobs)
         verified, detail = self._verify_candidate(candidate, live, drifted)
         reason = f"drift in {', '.join(sorted(drifted))}"
         promoted = False
@@ -319,13 +323,11 @@ class RetrainingOrchestrator:
             self.max_window_sessions is not None
             and len(extended) > self.max_window_sessions
         ):
-            # Slide the window: keep the newest sessions.
-            import numpy as np
-
-            keep = np.arange(
+            # Slide the window: keep the newest sessions (a zero-copy
+            # row view, so the trimmed prefix is never materialized).
+            extended = extended.rows(
                 len(extended) - self.max_window_sessions, len(extended)
             )
-            extended = extended.subset(keep)
         return extended
 
     def _verify_candidate(

@@ -10,10 +10,18 @@ protocol and accept an explicit ``random_state`` so every experiment in
 the repository is deterministic.
 """
 
-from repro.ml.elbow import ElbowResult, elbow_analysis, relative_wcss_gain, select_k_elbow
+from repro.ml.elbow import (
+    ElbowResult,
+    elbow_analysis,
+    elbow_seed,
+    relative_wcss_gain,
+    select_k_elbow,
+)
 from repro.ml.isolation_forest import IsolationForest
 from repro.ml.kmeans import KMeans
 from repro.ml.minibatch_kmeans import MiniBatchKMeans
+from repro.ml.parallel import parallel_map, resolve_jobs
+from repro.ml.rows import row_groups
 from repro.ml.metrics import (
     anonymity_set_sizes,
     anonymity_survey,
@@ -36,10 +44,14 @@ __all__ = [
     "anonymity_set_sizes",
     "anonymity_survey",
     "elbow_analysis",
+    "elbow_seed",
     "majority_cluster_accuracy",
     "majority_cluster_map",
     "normalized_shannon_entropy",
+    "parallel_map",
     "relative_wcss_gain",
+    "resolve_jobs",
+    "row_groups",
     "select_k_elbow",
     "shannon_entropy",
     "silhouette_samples_mean",

@@ -5,6 +5,14 @@ against k and the *relative* WCSS improvement, from which the authors
 select k=11.  :func:`elbow_analysis` reproduces both series and
 :func:`select_k_elbow` applies the paper's rule: pick the k with the most
 pronounced relative improvement among the candidate elbows.
+
+The sweep is the dominant cost of a retrain — it fits ``n_init``
+restarts for every candidate k — so :func:`elbow_analysis` flattens the
+whole (k, restart) grid into independent tasks and runs them through the
+shared training worker pool.  Each task's seed is derived solely from
+``random_state`` and its (k, restart) coordinates, so the curve is
+bit-identical at any ``jobs`` setting and each k's result matches a
+standalone ``KMeans(n_clusters=k, random_state=seed_for(k))`` fit.
 """
 
 from __future__ import annotations
@@ -14,9 +22,16 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.ml.kmeans import KMeans
+from repro.ml import kmeans as _kmeans
+from repro.ml.parallel import parallel_map
 
-__all__ = ["ElbowResult", "elbow_analysis", "relative_wcss_gain", "select_k_elbow"]
+__all__ = [
+    "ElbowResult",
+    "elbow_analysis",
+    "elbow_seed",
+    "relative_wcss_gain",
+    "select_k_elbow",
+]
 
 
 @dataclass
@@ -56,25 +71,66 @@ def relative_wcss_gain(wcss: Sequence[float]) -> List[float]:
     return gains
 
 
+def elbow_seed(
+    random_state: Optional[int], k: int
+) -> np.random.SeedSequence:
+    """The seed root used for cluster count ``k`` during the sweep.
+
+    Exposed so a final ``KMeans`` fit at the selected k can reproduce
+    the sweep's winning model exactly:
+    ``KMeans(n_clusters=k, random_state=elbow_seed(rs, k))``.
+    """
+    entropy = 0 if random_state is None else int(random_state)
+    return np.random.SeedSequence(entropy, spawn_key=(int(k),))
+
+
 def elbow_analysis(
     matrix: np.ndarray,
     ks: Iterable[int],
     n_init: int = 3,
     random_state: Optional[int] = None,
+    jobs: int = 1,
+    max_iter: int = 300,
+    tol: float = 1e-6,
 ) -> ElbowResult:
-    """Fit KMeans for every k and collect the WCSS curve."""
+    """Fit KMeans for every k and collect the WCSS curve.
+
+    All ``len(ks) * n_init`` restarts run as one flat batch through the
+    training worker pool (``jobs``); the row grouping of ``matrix`` is
+    computed once and shared by every task.
+    """
     ordered = sorted(set(int(k) for k in ks))
     if not ordered:
         raise ValueError("ks must contain at least one cluster count")
     if ordered[0] < 1:
         raise ValueError("cluster counts must be >= 1")
+    data = np.ascontiguousarray(matrix, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+    n_samples = data.shape[0]
+    if ordered[-1] > n_samples:
+        raise ValueError(
+            f"cannot evaluate k={ordered[-1]}: the matrix has only "
+            f"{n_samples} rows; restrict ks to values <= n_samples"
+        )
+    if n_init < 1:
+        raise ValueError("n_init must be >= 1")
+
+    points, sq_norms, weights, _ = _kmeans.prepare_points(data)
+    tasks = []
+    for k in ordered:
+        for seed in elbow_seed(random_state, k).spawn(n_init):
+            tasks.append((k, max_iter, tol, seed))
+    results = _kmeans.run_restarts(points, sq_norms, weights, tasks, jobs)
+
     wcss = []
-    for idx, k in enumerate(ordered):
-        seed = None if random_state is None else random_state + idx
-        model = KMeans(n_clusters=k, n_init=n_init, random_state=seed)
-        model.fit(matrix)
-        wcss.append(float(model.inertia_))
-    return ElbowResult(ks=ordered, wcss=wcss, relative_gain=relative_wcss_gain(wcss))
+    for idx, _k in enumerate(ordered):
+        per_k = results[idx * n_init : (idx + 1) * n_init]
+        _, inertia, _ = _kmeans.pick_best(per_k)
+        wcss.append(float(inertia))
+    return ElbowResult(
+        ks=ordered, wcss=wcss, relative_gain=relative_wcss_gain(wcss)
+    )
 
 
 def select_k_elbow(result: ElbowResult, min_k: int = 3) -> int:

@@ -21,9 +21,15 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.ml.rows import row_groups
+
 __all__ = ["IsolationForest"]
 
 _EULER_GAMMA = 0.5772156649015329
+
+# Deduplicated scoring only pays for itself on large batches where the
+# grouping pass is cheaper than the avoided tree walks.
+_DEDUP_MIN_ROWS = 2048
 
 
 def average_path_length(n: np.ndarray) -> np.ndarray:
@@ -152,11 +158,25 @@ class IsolationForest:
         return self
 
     def score_samples(self, matrix: np.ndarray) -> np.ndarray:
-        """Anomaly score in (0, 1) for every row (higher = more anomalous)."""
+        """Anomaly score in (0, 1) for every row (higher = more anomalous).
+
+        A row's score is a pure function of its values, so duplicate
+        rows — the overwhelming majority in coarse-grained fingerprint
+        matrices — are scored once and broadcast back.  The output is
+        bit-identical to scoring every row individually.
+        """
         self._check_fitted()
         data = np.asarray(matrix, dtype=float)
         if data.ndim == 1:
             data = data[None, :]
+        n_rows = data.shape[0]
+        if n_rows >= _DEDUP_MIN_ROWS:
+            first, inverse, _ = row_groups(data)
+            if first.size * 2 <= n_rows:
+                return self._score_rows(data[first])[inverse]
+        return self._score_rows(data)
+
+    def _score_rows(self, data: np.ndarray) -> np.ndarray:
         lengths = np.zeros(data.shape[0])
         for tree in self.trees_:
             lengths += tree.path_lengths(data)

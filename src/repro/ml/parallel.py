@@ -1,0 +1,111 @@
+"""Process-based worker pool for the offline training path.
+
+The online path (``repro.runtime``) parallelizes with threads because
+scoring batches are short and share one model.  Training is different:
+k-means restarts and elbow k-sweeps are minutes-long, CPU-bound, and
+embarrassingly parallel, so :func:`parallel_map` fans them out over a
+``concurrent.futures`` process pool.
+
+Design constraints, in order:
+
+* **Determinism** — results are returned in task-submission order and
+  every task carries its own seed material, so ``jobs=N`` is
+  bit-identical to ``jobs=1``.
+* **Zero surprises** — ``jobs=1`` (the default everywhere) never
+  creates a pool; it runs tasks inline in the caller's process.
+* **Graceful degradation** — sandboxes and exotic platforms that cannot
+  fork fall back to inline execution instead of failing the retrain.
+
+Large read-only inputs (the training matrix) travel via ``payload``:
+under the ``fork`` start method children inherit it through
+copy-on-write without any pickling; under ``spawn`` it is pickled once
+per worker through the pool initializer, not once per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = ["parallel_map", "resolve_jobs"]
+
+# Broadcast payload for the current pool.  Set in the parent before the
+# pool forks (inherited for free) and via _init_worker under spawn.
+_PAYLOAD: Any = None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request to a concrete worker count.
+
+    ``None`` means 1 (inline); negative values mean "all cores".
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs == 0:
+        raise ValueError("jobs must be a nonzero integer (or None for inline)")
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _init_worker(payload: Any) -> None:
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def _invoke(args: tuple) -> Any:
+    fn, item = args
+    return fn(_PAYLOAD, item)
+
+
+def parallel_map(
+    fn: Callable[[Any, Any], Any],
+    items: Iterable[Any],
+    jobs: Optional[int] = 1,
+    payload: Any = None,
+) -> List[Any]:
+    """Apply ``fn(payload, item)`` to every item, possibly in parallel.
+
+    ``fn`` must be a picklable module-level callable and a pure function
+    of ``(payload, item)``; results come back in input order regardless
+    of worker scheduling, which is what makes parallel runs bit-identical
+    to serial ones.  With ``jobs=1`` (or a single item) everything runs
+    inline and no pool is created.
+    """
+    tasks = list(items)
+    n_workers = min(resolve_jobs(jobs), len(tasks))
+    if n_workers <= 1:
+        return [fn(payload, item) for item in tasks]
+
+    global _PAYLOAD
+    prior = _PAYLOAD
+    _PAYLOAD = payload  # inherited by forked children without pickling
+    try:
+        if multiprocessing.get_start_method() == "fork":
+            initializer, initargs = None, ()
+        else:  # spawn/forkserver: ship the payload once per worker
+            initializer, initargs = _init_worker, (payload,)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                return list(pool.map(_invoke, [(fn, item) for item in tasks]))
+        except (OSError, PermissionError, BrokenProcessPool) as exc:
+            # Sandboxed environments may forbid fork or the semaphores the
+            # pool needs.  Tasks are pure, so rerunning inline is safe.
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); running {len(tasks)} "
+                "training tasks inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(payload, item) for item in tasks]
+    finally:
+        _PAYLOAD = prior

@@ -391,7 +391,9 @@ class RuntimeScoringService:
     # ------------------------------------------------------------------
     # retraining
 
-    def retrain(self, dataset: Dataset, align_rare: bool = True) -> None:
+    def retrain(
+        self, dataset: Dataset, align_rare: bool = True, jobs: int = 1
+    ) -> None:
         """Retrain the underlying pipeline and refresh runtime state.
 
         The pipeline swaps the model atomically under its lock;
@@ -399,7 +401,7 @@ class RuntimeScoringService:
         retrain listener invalidates the verdict cache, and stale batch
         results are refused by the cache's generation check.
         """
-        self.polygraph.retrain(dataset, align_rare=align_rare)
+        self.polygraph.retrain(dataset, align_rare=align_rare, jobs=jobs)
 
     def _on_model_swap(self, generation: int) -> None:
         self.runtime_stats.incr("model_swaps")

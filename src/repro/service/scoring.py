@@ -95,7 +95,9 @@ class ScoringService:
             latency_ms=(time.perf_counter() - started) * 1000.0,
         )
 
-    def retrain(self, dataset: Dataset, align_rare: bool = True) -> None:
+    def retrain(
+        self, dataset: Dataset, align_rare: bool = True, jobs: int = 1
+    ) -> None:
         """Swap in a freshly trained model without stopping scoring.
 
         The pipeline installs the new model atomically under its swap
@@ -103,7 +105,7 @@ class ScoringService:
         scoring against the snapshot it started with, and every request
         accepted afterwards sees only the new model — never a mix.
         """
-        self.polygraph.retrain(dataset, align_rare=align_rare)
+        self.polygraph.retrain(dataset, align_rare=align_rare, jobs=jobs)
 
     @property
     def flag_rate(self) -> float:

@@ -82,6 +82,31 @@ class Dataset:
         """Float view of the feature matrix (training input)."""
         return self.features.astype(float)
 
+    def rows(self, start: int, stop: int) -> "Dataset":
+        """Contiguous row range as a zero-copy view.
+
+        Unlike :meth:`subset` (which fancy-indexes and therefore
+        copies), slicing returns views over the parent's columns — the
+        sliding-window path can trim a memory-mapped export without
+        materializing it.
+        """
+        sl = slice(start, stop)
+        return Dataset(
+            features=self.features[sl],
+            ua_keys=self.ua_keys[sl],
+            user_agents=self.user_agents[sl],
+            session_ids=self.session_ids[sl],
+            days=self.days[sl],
+            untrusted_ip=self.untrusted_ip[sl],
+            untrusted_cookie=self.untrusted_cookie[sl],
+            ato=self.ato[sl],
+            truth_kind=self.truth_kind[sl],
+            truth_browser=self.truth_browser[sl],
+            truth_category=self.truth_category[sl],
+            truth_perturbation=self.truth_perturbation[sl],
+            feature_names=list(self.feature_names),
+        )
+
     def subset(self, mask: np.ndarray) -> "Dataset":
         """Row subset selected by a boolean mask or index array."""
         return Dataset(
@@ -157,6 +182,11 @@ class Dataset:
         for part in parts[1:]:
             if part.feature_names != names:
                 raise ValueError("feature column orders differ")
+        if len(parts) == 1:
+            # Zero-copy fast path: a single part (e.g. a store exported
+            # from one memory-mapped columnar segment) passes through
+            # without touching any column bytes.
+            return parts[0]
         return cls(
             features=np.concatenate([p.features for p in parts]),
             ua_keys=np.concatenate([p.ua_keys for p in parts]),

@@ -63,6 +63,67 @@ def test_figures_command(capsys, monkeypatch):
         assert needle in out
 
 
+def test_retrain_from_dataset(artifacts, tmp_path, capsys):
+    dataset_path, model_path = artifacts
+    output = str(tmp_path / "refreshed.json")
+    assert main(
+        ["retrain", model_path, "--dataset", dataset_path, "--output", output]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "retrained on 6000 sessions" in out
+    document = json.loads(open(output).read())
+    assert document["format_version"] == 1
+
+
+def test_retrain_requires_one_source(artifacts, capsys):
+    _, model_path = artifacts
+    assert main(["retrain", model_path]) == 2
+    assert "--dataset or --store" in capsys.readouterr().err
+
+
+def test_store_info_and_migrate(tmp_path, capsys):
+    from datetime import date
+
+    from repro.browsers.profiles import BrowserProfile
+    from repro.browsers.useragent import Vendor
+    from repro.fingerprint.script import CollectionScript
+    from repro.service.storage import SessionStore
+
+    root = tmp_path / "store"
+    store = SessionStore(root)
+    profile = BrowserProfile(Vendor.CHROME, 112)
+    for i in range(4):
+        store.append(
+            CollectionScript().run(
+                profile.environment(), profile.user_agent(), f"cli-{i}"
+            ),
+            day=date(2023, 5, 2),
+        )
+    store.flush()
+
+    assert main(["store", "info", str(root)]) == 0
+    assert "4 records" in capsys.readouterr().out
+    assert main(["store", "migrate", str(root)]) == 0
+    assert "sealed 1 segment" in capsys.readouterr().out
+    assert main(["store", "migrate", str(root)]) == 0
+    assert "no JSONL segments" in capsys.readouterr().out
+
+    dataset = SessionStore(root).export_dataset()
+    assert len(dataset) == 4
+
+
+def test_train_with_jobs_matches_serial(artifacts, tmp_path):
+    dataset_path, model_path = artifacts
+    parallel_path = str(tmp_path / "model-jobs.json")
+    assert main(
+        ["train", parallel_path, "--dataset", dataset_path, "--jobs", "2"]
+    ) == 0
+    serial = json.loads(open(model_path).read())
+    parallel = json.loads(open(parallel_path).read())
+    assert parallel["kmeans"]["centers"] == serial["kmeans"]["centers"]
+    assert parallel["accuracy"] == serial["accuracy"]
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["experiment", "table99"])

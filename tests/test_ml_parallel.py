@@ -1,0 +1,143 @@
+"""Worker-pool determinism: jobs=N must be bit-identical to jobs=1."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import ClusterModel
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import BrowserPolygraph
+from repro.ml import kmeans as kmeans_mod
+from repro.ml.elbow import elbow_analysis, elbow_seed, select_k_elbow
+from repro.ml.kmeans import KMeans
+from repro.ml.parallel import parallel_map, resolve_jobs
+from repro.ml.rows import row_groups
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+
+
+def _square(payload, item):
+    return (payload or 0) + item * item
+
+
+def _matrix(seed=5, groups=40, repeats=6, width=7):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(groups, width))
+    data = np.repeat(base, repeats, axis=0)
+    return data[rng.permutation(data.shape[0])]
+
+
+@pytest.fixture
+def force_pool(monkeypatch):
+    """Drop the work-size gate so small fits really cross processes."""
+    monkeypatch.setattr(kmeans_mod, "_MIN_PARALLEL_WORK", 0)
+
+
+class TestParallelMap:
+    def test_inline_matches_input_order(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_pool_preserves_order_and_payload(self):
+        result = parallel_map(_square, list(range(20)), jobs=4, payload=100)
+        assert result == [100 + i * i for i in range(20)]
+
+    def test_pool_equals_inline(self):
+        items = list(range(17))
+        assert parallel_map(_square, items, jobs=3) == parallel_map(
+            _square, items, jobs=1
+        )
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(6) == 6
+        assert resolve_jobs(-1) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestRowGroups:
+    def test_reconstruction_and_counts(self):
+        data = _matrix(seed=3, groups=12, repeats=4, width=5)
+        first, inverse, counts = row_groups(data)
+        assert np.array_equal(data[first][inverse], data)
+        assert counts.sum() == data.shape[0]
+        assert first.size == 12
+
+    def test_matches_np_unique(self):
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 3, size=(200, 4)).astype(float)
+        first, inverse, counts = row_groups(data)
+        uniq, u_inverse, u_counts = np.unique(
+            data, axis=0, return_inverse=True, return_counts=True
+        )
+        assert np.array_equal(data[first], uniq)
+        assert np.array_equal(inverse, u_inverse.ravel())
+        assert np.array_equal(counts, u_counts)
+
+
+class TestKMeansParity:
+    def test_pool_fit_is_bit_identical(self, force_pool):
+        data = _matrix()
+        serial = KMeans(n_clusters=6, n_init=4, random_state=17, jobs=1).fit(data)
+        pooled = KMeans(n_clusters=6, n_init=4, random_state=17, jobs=4).fit(data)
+        assert np.array_equal(serial.cluster_centers_, pooled.cluster_centers_)
+        assert np.array_equal(serial.labels_, pooled.labels_)
+        assert serial.inertia_ == pooled.inertia_
+        assert serial.n_iter_ == pooled.n_iter_
+
+    def test_jobs_does_not_change_predictions(self, force_pool):
+        data = _matrix(seed=11)
+        probe = _matrix(seed=12, groups=10, repeats=1)
+        serial = KMeans(n_clusters=5, n_init=3, random_state=2, jobs=1).fit(data)
+        pooled = KMeans(n_clusters=5, n_init=3, random_state=2, jobs=2).fit(data)
+        assert np.array_equal(serial.predict(probe), pooled.predict(probe))
+
+
+class TestElbowParity:
+    def test_pool_sweep_is_bit_identical(self, force_pool):
+        data = _matrix(seed=21)
+        serial = elbow_analysis(data, range(2, 9), n_init=3, random_state=5, jobs=1)
+        pooled = elbow_analysis(data, range(2, 9), n_init=3, random_state=5, jobs=4)
+        assert serial.ks == pooled.ks
+        assert serial.wcss == pooled.wcss
+        assert serial.relative_gain == pooled.relative_gain
+        assert select_k_elbow(serial) == select_k_elbow(pooled)
+
+    def test_sweep_matches_standalone_fit(self):
+        data = _matrix(seed=23)
+        curve = elbow_analysis(data, [4, 6], n_init=2, random_state=9)
+        standalone = KMeans(
+            n_clusters=6, n_init=2, random_state=elbow_seed(9, 6)
+        ).fit(data)
+        assert curve.wcss[curve.ks.index(6)] == standalone.inertia_
+
+    def test_k_beyond_samples_rejected_upfront(self):
+        data = _matrix(seed=25, groups=4, repeats=1)
+        with pytest.raises(ValueError, match="n_samples"):
+            elbow_analysis(data, [2, 10], n_init=2, random_state=1)
+
+
+class TestPipelineParity:
+    @pytest.fixture(scope="class")
+    def window(self):
+        return TrafficSimulator(TrafficConfig(seed=7).scaled(4000)).generate()
+
+    def test_cluster_model_parity(self, force_pool, window):
+        serial = ClusterModel(PipelineConfig()).fit(
+            window.matrix(), list(window.ua_keys), jobs=1
+        )
+        pooled = ClusterModel(PipelineConfig()).fit(
+            window.matrix(), list(window.ua_keys), jobs=4
+        )
+        assert np.array_equal(
+            serial.kmeans.cluster_centers_, pooled.kmeans.cluster_centers_
+        )
+        assert serial.kmeans.inertia_ == pooled.kmeans.inertia_
+        assert serial.ua_to_cluster == pooled.ua_to_cluster
+        assert serial.cluster_table == pooled.cluster_table
+        assert serial.accuracy_ == pooled.accuracy_
+
+    def test_polygraph_fit_parity(self, force_pool, window):
+        serial = BrowserPolygraph().fit(window, jobs=1)
+        pooled = BrowserPolygraph().fit(window, jobs=4)
+        assert serial.cluster_table == pooled.cluster_table
+        assert serial.accuracy == pooled.accuracy
