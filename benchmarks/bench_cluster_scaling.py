@@ -1,0 +1,429 @@
+"""Cluster scaling: throughput at 1/2/4/8 shards, verdict identity, failover.
+
+The cluster's single-host win is not CPU parallelism (this benchmark
+runs wherever CI puts it, including one-core containers) but **cache
+capacity scaling**: with fingerprint affinity, the consistent-hash ring
+partitions the verdict cache's key space, so N shards hold N× the
+distinct fingerprints.  The paper's coarse-grained fingerprints are
+deliberately low-cardinality (Section 7's anonymity sets), which makes
+the verdict cache the dominant term in serving cost — PR 1 measured the
+cached path at >6x the uncached one.
+
+The workload is sized to make that effect visible and honest: ``D``
+distinct fingerprints replayed cyclically (LRU's worst case) against a
+per-shard cache of ``C`` entries, with ``D ~ 2.5x C``.  One shard
+thrashes — every probe misses, every verdict pays the model.  Four
+shards hold their ~D/4 arcs entirely — every probe hits after warmup.
+Same requests, same verdicts (asserted element-wise across every cell
+and against the per-request reference service), very different cost.
+
+The failover section boots two shards, kills one mid-load, and requires
+every request answered with verdicts identical to the one-shard cell —
+the "no requests lost" acceptance gate.
+
+Results land in ``BENCH_cluster.json``.  Direct run (CI uses
+``--smoke``, which shrinks the workload and skips the timing gate)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_scaling.py
+"""
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import (  # noqa: E402
+    ClusterConfig,
+    ClusterRouter,
+    RouterConfig,
+    ShardSupervisor,
+)
+from repro.core.pipeline import BrowserPolygraph  # noqa: E402
+from repro.runtime.pool import OVERLOADED_REASON  # noqa: E402
+from repro.runtime.service import RuntimeConfig  # noqa: E402
+from repro.service.ingest import MAX_FEATURE_VALUE  # noqa: E402
+from repro.service.scoring import ScoringService  # noqa: E402
+from repro.traffic.generator import TrafficConfig, TrafficSimulator  # noqa: E402
+from repro.traffic.replay import iter_wire_payloads  # noqa: E402
+
+SHARD_COUNTS = (1, 2, 4, 8)
+SPEEDUP_GATE = 2.5  # 4-shard vs 1-shard throughput, full runs only
+
+
+# ----------------------------------------------------------------------
+# workload
+
+
+def _base_fingerprints(dataset, limit: int) -> List[Tuple[str, List[int]]]:
+    """Distinct ``(ua, feature-vector)`` pairs from simulated traffic."""
+    seen = {}
+    for wire in iter_wire_payloads(dataset):
+        doc = json.loads(wire)
+        key = (doc["ua"], tuple(doc["f"]))
+        if key not in seen:
+            seen[key] = (doc["ua"], list(doc["f"]))
+            if len(seen) >= limit:
+                break
+    return list(seen.values())
+
+
+def synthesize_workload(
+    dataset, n_distinct: int, passes: int
+) -> Tuple[List[bytes], List[bytes]]:
+    """A warmup pass plus ``passes`` cyclic replays of D fingerprints.
+
+    Simulated traffic only yields a few hundred distinct fingerprints
+    (coarse granularity is the paper's point), so variants are
+    synthesized by shifting one feature value deterministically — each
+    variant is a distinct verdict-cache entry with the same routing
+    behavior as real traffic.  Every wire carries a unique session id:
+    the dedup window must never fire, only the cache.
+    """
+    bases = _base_fingerprints(dataset, limit=n_distinct)
+    fingerprints: List[bytes] = []
+    for variant in range(n_distinct):
+        ua, values = bases[variant % len(bases)]
+        shift = variant // len(bases)
+        if shift:
+            values = list(values)
+            values[0] = (values[0] + shift) % (MAX_FEATURE_VALUE + 1)
+        # Everything after the sid, pre-serialized: identical bytes for
+        # the same variant in every pass, which is exactly what the
+        # fingerprint-affinity routing key hashes.
+        fingerprints.append(
+            f'","ua":"{ua}","f":{json.dumps(values, separators=(",", ":"))}}}'.encode()
+        )
+
+    def wire(tag: str, index: int, variant: int) -> bytes:
+        return b'{"sid":"' + f"bb-{tag}-{index:07d}".encode() + fingerprints[variant]
+
+    warmup = [wire("w", v, v) for v in range(n_distinct)]
+    timed = []
+    index = 0
+    for _ in range(passes):
+        for variant in range(n_distinct):
+            timed.append(wire("t", index, variant))
+            index += 1
+    return warmup, timed
+
+
+def _essence(verdict) -> tuple:
+    """Verdict fields that must match across cells (latency excluded)."""
+    return (
+        verdict.session_id,
+        verdict.accepted,
+        verdict.flagged,
+        verdict.risk_factor,
+        verdict.reject_reason,
+    )
+
+
+# ----------------------------------------------------------------------
+# cells
+
+
+@dataclass
+class CellResult:
+    shards: int
+    elapsed_s: float
+    throughput_wps: float
+    scored: int
+    flagged: int
+    rejected: int
+    cache_entries_total: int
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "throughput_wps": round(self.throughput_wps, 1),
+            "scored": self.scored,
+            "flagged": self.flagged,
+            "rejected": self.rejected,
+            "cache_entries_total": self.cache_entries_total,
+        }
+
+
+def _runtime_config(cache_entries: int) -> RuntimeConfig:
+    return RuntimeConfig(
+        n_workers=1,
+        queue_capacity=4096,
+        max_batch_size=64,
+        max_linger_ms=1.0,
+        cache_entries=cache_entries,
+    )
+
+
+def run_cell(
+    polygraph: BrowserPolygraph,
+    n_shards: int,
+    cache_entries: int,
+    warmup: List[bytes],
+    timed: List[bytes],
+) -> Tuple[CellResult, List[tuple]]:
+    supervisor = ShardSupervisor.from_polygraph(
+        polygraph,
+        config=ClusterConfig(n_shards=n_shards, heartbeat_interval_s=1.0),
+        runtime_config=_runtime_config(cache_entries),
+    )
+    router = ClusterRouter(
+        supervisor, RouterConfig(affinity="fingerprint")
+    ).start()
+    try:
+        router.score_many(warmup)
+        started = time.perf_counter()
+        verdicts = router.score_many(timed)
+        elapsed = time.perf_counter() - started
+        cached = sum(
+            len(shard.service.cache)
+            for shard in supervisor.shards.values()
+            if shard.service is not None and shard.service.cache is not None
+        )
+        cell = CellResult(
+            shards=n_shards,
+            elapsed_s=elapsed,
+            throughput_wps=len(timed) / elapsed,
+            scored=router.scored_count - len(warmup),
+            flagged=router.flagged_count,
+            rejected=router.validator.quarantine.total_rejects,
+            cache_entries_total=cached,
+        )
+        return cell, [_essence(v) for v in verdicts]
+    finally:
+        router.shutdown(drain=True)
+
+
+def run_failover(
+    polygraph: BrowserPolygraph,
+    cache_entries: int,
+    timed: List[bytes],
+) -> dict:
+    """Kill one of two shards mid-load; nothing may be lost or change."""
+    supervisor = ShardSupervisor.from_polygraph(
+        polygraph,
+        config=ClusterConfig(n_shards=2, heartbeat_interval_s=0.1),
+        runtime_config=_runtime_config(cache_entries),
+    )
+    router = ClusterRouter(
+        supervisor, RouterConfig(affinity="fingerprint")
+    ).start()
+    try:
+        half = len(timed) // 2
+        first = router.score_many(timed[:half])
+        supervisor.kill("s0")
+        second = router.score_many(timed[half:])
+        verdicts = first + second
+        lost = sum(
+            1
+            for v in verdicts
+            if v is None or v.reject_reason == OVERLOADED_REASON
+        )
+        deadline = time.time() + 10.0
+        while time.time() < deadline and supervisor.healthy_count < 2:
+            time.sleep(0.05)
+        return {
+            "requests": len(timed),
+            "answered": len(verdicts),
+            "lost": lost,
+            "failovers": router.failovers_total,
+            "killed_shard_restarts": supervisor.restarts("s0"),
+            "healthy_after_recovery": supervisor.healthy_count,
+            "essences": [_essence(v) for v in verdicts],
+        }
+    finally:
+        router.shutdown(drain=True)
+
+
+# ----------------------------------------------------------------------
+# report
+
+
+@dataclass
+class Report:
+    config: dict
+    cells: List[CellResult] = field(default_factory=list)
+    speedup_4v1: float = 0.0
+    identical_across_cells: bool = False
+    reference_checked: int = 0
+    failover: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "cluster_scaling",
+            "config": self.config,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "speedup_4v1": round(self.speedup_4v1, 2),
+            "identical_across_cells": self.identical_across_cells,
+            "reference_checked": self.reference_checked,
+            "failover": self.failover,
+        }
+
+    def render(self) -> str:
+        lines = [
+            "cluster scaling "
+            f"(D={self.config['n_distinct']} distinct fingerprints, "
+            f"C={self.config['cache_entries']} cache entries/shard, "
+            f"{self.config['passes']} cyclic passes)",
+            f"{'shards':>6}  {'throughput':>12}  {'elapsed':>9}  "
+            f"{'cache entries':>13}",
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.shards:>6}  {cell.throughput_wps:>10.0f}/s  "
+                f"{cell.elapsed_s:>8.2f}s  {cell.cache_entries_total:>13}"
+            )
+        lines.append(
+            f"4-shard vs 1-shard speedup: {self.speedup_4v1:.2f}x "
+            f"(identical verdicts: {self.identical_across_cells}, "
+            f"{self.reference_checked} checked against the per-request "
+            f"reference)"
+        )
+        failover = self.failover
+        if failover:
+            lines.append(
+                f"failover: {failover['answered']}/{failover['requests']} "
+                f"answered after killing a shard mid-load "
+                f"({failover['lost']} lost, {failover['failovers']} "
+                f"re-routed, shard restarted "
+                f"{failover['killed_shard_restarts']}x, identical: "
+                f"{failover['identical']})"
+            )
+        return "\n".join(lines)
+
+
+def run_benchmark(
+    n_sessions: int,
+    n_distinct: int,
+    cache_entries: int,
+    passes: int,
+    seed: int = 7,
+    shard_counts: Tuple[int, ...] = SHARD_COUNTS,
+) -> Report:
+    dataset = TrafficSimulator(TrafficConfig(seed=seed).scaled(n_sessions)).generate()
+    polygraph = BrowserPolygraph().fit(dataset)
+    warmup, timed = synthesize_workload(dataset, n_distinct, passes)
+    report = Report(
+        config={
+            "n_sessions": n_sessions,
+            "n_distinct": n_distinct,
+            "cache_entries": cache_entries,
+            "passes": passes,
+            "seed": seed,
+            "affinity": "fingerprint",
+            "shard_counts": list(shard_counts),
+        }
+    )
+
+    essences: Dict[int, List[tuple]] = {}
+    for n_shards in shard_counts:
+        cell, cell_essences = run_cell(
+            polygraph, n_shards, cache_entries, warmup, timed
+        )
+        essences[n_shards] = cell_essences
+        report.cells.append(cell)
+        print(
+            f"  {n_shards} shard(s): {cell.throughput_wps:.0f} wires/s "
+            f"({cell.elapsed_s:.2f}s)",
+            flush=True,
+        )
+
+    baseline = essences[shard_counts[0]]
+    report.identical_across_cells = all(
+        essences[n] == baseline for n in shard_counts
+    )
+
+    # Anchor against the per-request reference service: the cluster must
+    # not just agree with itself, it must agree with Algorithm 1.
+    reference = ScoringService(polygraph)
+    sample = timed[: min(1000, len(timed))]
+    report.reference_checked = len(sample)
+    for wire, essence in zip(sample, baseline):
+        if _essence(reference.score_wire(wire)) != essence:
+            report.identical_across_cells = False
+            break
+
+    by_shards = {cell.shards: cell for cell in report.cells}
+    if 1 in by_shards and 4 in by_shards:
+        report.speedup_4v1 = (
+            by_shards[4].throughput_wps / by_shards[1].throughput_wps
+        )
+
+    failover = run_failover(polygraph, cache_entries, timed)
+    failover["identical"] = failover.pop("essences") == baseline
+    report.failover = failover
+    return report
+
+
+# ----------------------------------------------------------------------
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=20_000)
+    parser.add_argument("--distinct", type=int, default=1280)
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=512,
+        help="per-shard verdict-cache capacity (D/C ~ 2.5 by default)",
+    )
+    parser.add_argument("--passes", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="BENCH_cluster.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, no timing gate (CI runners are too noisy)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.sessions = min(args.sessions, 4_000)
+        args.distinct = min(args.distinct, 240)
+        args.cache_entries = min(args.cache_entries, 96)
+        args.passes = min(args.passes, 2)
+
+    report = run_benchmark(
+        n_sessions=args.sessions,
+        n_distinct=args.distinct,
+        cache_entries=args.cache_entries,
+        passes=args.passes,
+        seed=args.seed,
+    )
+    print(report.render())
+
+    document = report.to_json()
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if not report.identical_across_cells:
+        failures.append("verdicts diverged across shard counts")
+    if report.failover is None or report.failover["lost"] != 0:
+        failures.append("failover lost requests")
+    if not (report.failover or {}).get("identical", False):
+        failures.append("failover changed verdicts")
+    if (report.failover or {}).get("healthy_after_recovery") != 2:
+        failures.append("killed shard did not recover")
+    if not args.smoke and report.speedup_4v1 < SPEEDUP_GATE:
+        failures.append(
+            f"4-shard speedup {report.speedup_4v1:.2f}x below "
+            f"{SPEEDUP_GATE}x gate"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

@@ -14,7 +14,11 @@ Subcommands:
 * ``simulate``    — generate and save a synthetic FinOrg dataset;
 * ``serve``       — run the collection endpoint over a saved model or a
   registry's live model (``--runtime`` switches to the micro-batched
-  scoring runtime and resumes any in-flight rollout);
+  scoring runtime and resumes any in-flight rollout; ``--shards N``
+  serves a sharded cluster behind the consistent-hash router);
+  SIGTERM/SIGINT drain in-flight requests before exiting;
+* ``cluster``     — inspect a running cluster (``status`` pretty-prints
+  the server's ``GET /cluster`` document);
 * ``rollout``     — drive a staged model rollout against a registry:
   ``start`` a candidate into shadow, inspect ``status``, ``promote``
   one stage toward live, or ``abort``;
@@ -170,6 +174,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-entries", type=int, default=8192, help="0 disables the cache"
     )
     serve.add_argument("--cache-ttl", type=float, default=300.0)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve a sharded cluster with N scoring shards behind the "
+        "consistent-hash router (0: single-process)",
+    )
+    serve.add_argument(
+        "--shard-backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="host each shard in this process (thread) or in its own "
+        "child process (process)",
+    )
+    serve.add_argument(
+        "--affinity",
+        choices=["session", "fingerprint"],
+        default="session",
+        help="ring routing key: session id (sticky canary buckets) or "
+        "fingerprint bytes (partitions the verdict-cache key space)",
+    )
+    serve.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        help="latency budget in ms after which a request is hedged to "
+        "the next same-version replica (default: no hedging)",
+    )
+
+    cluster = sub.add_parser(
+        "cluster", help="inspect a running sharded cluster"
+    )
+    cluster.add_argument("action", choices=["status"])
+    cluster.add_argument(
+        "--url",
+        default="http://127.0.0.1:8040",
+        help="base URL of the serving endpoint",
+    )
 
     rollout = sub.add_parser(
         "rollout", help="drive a staged model rollout against a registry"
@@ -373,51 +415,177 @@ def _build_service(pipeline: BrowserPolygraph, args: argparse.Namespace):
     return ScoringService(pipeline)
 
 
+def _build_cluster(args: argparse.Namespace, registry):
+    """The sharded path of ``serve``: supervisor + router (+ rollout)."""
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterRouter,
+        RouterConfig,
+        ShardSupervisor,
+    )
+
+    config = ClusterConfig(n_shards=args.shards, backend=args.shard_backend)
+    runtime_config = _runtime_config(args)
+    if registry is not None:
+        supervisor = ShardSupervisor.from_registry(
+            registry, config=config, runtime_config=runtime_config
+        )
+    else:
+        supervisor = ShardSupervisor(
+            args.model, config=config, runtime_config=runtime_config
+        )
+    router = ClusterRouter(
+        supervisor,
+        RouterConfig(affinity=args.affinity, hedge_after_ms=args.hedge_ms),
+    ).start()
+    managers = []
+    if registry is not None and args.shard_backend == "thread":
+        managers = supervisor.attach_rollout(registry)
+        state = managers[0].state if managers else None
+        if state is not None and state.in_flight:
+            print(
+                f"resumed rollout of v{state.candidate_version} on "
+                f"{len(managers)} shards ({state.status}, "
+                f"stage {state.stage_index})"
+            )
+    return router, managers
+
+
+def _serve_until_signalled(httpd) -> None:
+    """Run the server until SIGTERM/SIGINT, then stop accepting.
+
+    ``serve_forever`` runs on a background thread because calling
+    ``httpd.shutdown()`` from the serving thread deadlocks; the main
+    thread parks on an event that the signal handlers set.  On exit the
+    listener is stopped first, then the caller drains the scoring
+    backlog — no request dies mid-batch.
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except ValueError:
+            pass  # not on the main thread (tests); rely on Ctrl-C
+    server_thread = threading.Thread(
+        target=httpd.serve_forever, name="polygraph-http", daemon=True
+    )
+    server_thread.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        httpd.shutdown()
+        server_thread.join(timeout=10.0)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from wsgiref.simple_server import make_server
 
     from repro.service.api import CollectionApp
 
-    manager = None
+    registry = None
     if args.registry:
         from repro.core.retraining import ModelRegistry
 
         registry = ModelRegistry(args.registry)
-        pipeline = registry.load()
-    elif args.model:
-        pipeline = BrowserPolygraph.load(args.model)
-    else:
+    elif not args.model:
         print("serve: provide a model path or --registry", file=sys.stderr)
         return 2
-    service = _build_service(pipeline, args)
-    if args.registry and args.runtime:
-        from repro.rollout import RolloutManager
+    managers = []
+    if args.shards:
+        service, managers = _build_cluster(args, registry)
+        mode = (
+            f"cluster ({args.shards} {args.shard_backend} shards, "
+            f"{args.affinity} affinity)"
+        )
+    else:
+        pipeline = (
+            registry.load() if registry else BrowserPolygraph.load(args.model)
+        )
+        service = _build_service(pipeline, args)
+        if registry is not None and args.runtime:
+            from repro.rollout import RolloutManager
 
-        manager = RolloutManager(registry, runtime=service)
-        state = manager.resume()
-        if state is not None and state.in_flight:
-            print(
-                f"resumed rollout of v{state.candidate_version} "
-                f"({state.status}, stage {state.stage_index})"
-            )
+            manager = RolloutManager(registry, runtime=service)
+            state = manager.resume()
+            managers = [manager]
+            if state is not None and state.in_flight:
+                print(
+                    f"resumed rollout of v{state.candidate_version} "
+                    f"({state.status}, stage {state.stage_index})"
+                )
+        mode = "runtime (micro-batched)" if args.runtime else "per-request"
     app = CollectionApp(service)
-    mode = "runtime (micro-batched)" if args.runtime else "per-request"
     with make_server(args.host, args.port, app) as httpd:
         print(
             f"serving {mode} scoring on http://{args.host}:{args.port} "
-            f"(POST /collect, GET /health, GET /metrics, GET /rollout)"
+            f"(POST /collect, GET /health, GET /metrics, GET /rollout, "
+            f"GET /cluster)"
         )
         try:
-            httpd.serve_forever()
-        except KeyboardInterrupt:
-            pass
+            _serve_until_signalled(httpd)
         finally:
-            if manager is not None:
+            print("draining in-flight requests before exit")
+            for manager in managers:
                 manager.save()
                 manager.close()
             shutdown = getattr(service, "shutdown", None)
             if shutdown is not None:
                 shutdown(drain=True)
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json as _json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    endpoint = args.url.rstrip("/") + "/cluster"
+    try:
+        with urlopen(endpoint, timeout=5.0) as response:
+            document = _json.load(response)
+    except HTTPError as exc:
+        if exc.code == 404:
+            print(f"{args.url} is serving single-process (no cluster)")
+            return 1
+        print(f"cluster status: {endpoint} answered {exc.code}", file=sys.stderr)
+        return 2
+    except (URLError, OSError) as exc:
+        print(f"cluster status: cannot reach {endpoint}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"backend {document['backend']}, serving v{document['serving_version']}, "
+        f"{document['healthy_shards']}/{document['n_shards']} shards healthy, "
+        f"{document['vnodes']} vnodes/shard"
+    )
+    for shard in document["shards"]:
+        health = "healthy" if shard["healthy"] else "UNHEALTHY"
+        ring = "on ring" if shard["on_ring"] else "OFF RING"
+        print(
+            f"  {shard['shard_id']:>4}  {health:<9}  v{shard['model_version']}"
+            f"  restarts={shard['restarts']}  failures={shard['failures']}"
+            f"  {ring}"
+        )
+    router = document.get("router")
+    if router:
+        print(
+            f"router: {router['requests_total']} requests "
+            f"({router['affinity']} affinity), {router['hedged_total']} hedged "
+            f"({router['hedge_wins_total']} wins), "
+            f"{router['failovers_total']} failovers, "
+            f"{router['unroutable_total']} unroutable"
+        )
     return 0
 
 
@@ -538,6 +706,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "report": _cmd_report,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "rollout": _cmd_rollout,
         "bench-runtime": _cmd_bench_runtime,
     }

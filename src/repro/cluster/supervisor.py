@@ -1,0 +1,819 @@
+"""Shard lifecycle: replicas, heartbeats, failover, restart.
+
+A *shard* is one complete scoring stack — its own model replica, its
+own :class:`~repro.runtime.service.RuntimeScoringService`, its own
+verdict cache — behind a small uniform surface (``submit_wire``,
+``score_chunk``, ``ping``, ``install``, ``restart``).  Two backends:
+
+* :class:`ThreadShard` — the shard's runtime lives in this process.
+  The default: cheap to boot, trivially debuggable, and the right shape
+  for the single-host deployment the benchmarks measure.
+* :class:`ProcessShard` — the shard's runtime lives in a child process
+  behind a pipe, one process per shard.  Buys real CPU parallelism and
+  fault isolation (a crashed shard is a dead process, not a corrupted
+  heap) at the cost of per-chunk serialization.
+
+Both backends *load their own model replica from a file* and verify it
+against the registry's sha256 digest before serving — the replication
+contract: no shard ever serves bytes the registry cannot account for.
+
+:class:`ShardSupervisor` owns N shards plus the consistent-hash ring.
+A heartbeat thread pings every shard; ``unhealthy_after`` consecutive
+failures (heartbeat or router-reported) take the shard off the ring —
+its arcs drain to the ring-order successors — and the supervisor then
+restarts it and puts it back.  The router never waits on a sick shard:
+re-routing is a ring lookup away the moment the node is removed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cluster.ring import HashRing
+from repro.core.model_store import stored_digest
+from repro.core.pipeline import BrowserPolygraph
+from repro.runtime.pool import OVERLOADED_REASON, overloaded_verdict
+from repro.runtime.service import PendingVerdict, RuntimeConfig, RuntimeScoringService
+from repro.service.scoring import Verdict
+
+__all__ = [
+    "ClusterConfig",
+    "ProcessShard",
+    "ShardError",
+    "ShardStatus",
+    "ShardSupervisor",
+    "ThreadShard",
+]
+
+
+class ShardError(RuntimeError):
+    """A shard could not serve: dead process, stopped pool, bad replica."""
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology and health-checking knobs of the serving cluster."""
+
+    n_shards: int = 2
+    backend: str = "thread"  # "thread" | "process"
+    vnodes: int = 64
+    heartbeat_interval_s: float = 0.25
+    unhealthy_after: int = 2  # consecutive failures before removal
+    ping_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.backend not in ("thread", "process"):
+            raise ValueError("backend must be 'thread' or 'process'")
+        if self.unhealthy_after < 1:
+            raise ValueError("unhealthy_after must be >= 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """One heartbeat's view of one shard."""
+
+    shard_id: str
+    model_version: int
+    model_generation: int
+    queue_depth: int
+    scored_count: int
+    flagged_count: int
+
+
+def _verify_replica(path: Path, expected_digest: Optional[str]) -> None:
+    """Refuse a replica whose bytes the registry cannot account for."""
+    if expected_digest is None:
+        return
+    on_disk = stored_digest(path)
+    if on_disk is not None and on_disk != expected_digest:
+        raise ShardError(
+            f"replica digest mismatch for {path.name}: expected "
+            f"{expected_digest[:12]}..., file carries {on_disk[:12]}..."
+        )
+
+
+# ----------------------------------------------------------------------
+# thread backend
+
+
+class ThreadShard:
+    """One scoring shard hosted in this process.
+
+    The shard loads its *own* :class:`BrowserPolygraph` replica from
+    ``model_path`` (digest-verified), so installs and generation bumps
+    on one shard never touch another — exactly the isolation a
+    multi-host deployment would have, minus the network.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        model_path: Union[str, Path],
+        runtime_config: RuntimeConfig = RuntimeConfig(),
+        expected_digest: Optional[str] = None,
+        model_version: int = 1,
+    ) -> None:
+        self.shard_id = shard_id
+        self.model_path = Path(model_path)
+        self.runtime_config = runtime_config
+        self.model_version = model_version
+        _verify_replica(self.model_path, expected_digest)
+        self.polygraph = BrowserPolygraph.load(self.model_path)
+        self.service: Optional[RuntimeScoringService] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ThreadShard":
+        if self.service is None:
+            self.service = RuntimeScoringService(
+                self.polygraph, config=self.runtime_config
+            ).start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        service = self.service
+        self.service = None
+        if service is not None:
+            service.shutdown(drain=drain)
+
+    def kill(self) -> None:
+        """Crash simulation: die mid-batch, shedding the backlog."""
+        service = self.service
+        self.service = None
+        if service is not None:
+            service.shutdown(drain=False)
+
+    def restart(self) -> None:
+        """Fresh runtime over the replica this shard already holds.
+
+        The dedup window and verdict cache start cold (they died with
+        the runtime, as they would in a real crash); the model replica
+        and its version survive, so verdicts are unchanged.
+        """
+        self.stop(drain=False)
+        self.service = RuntimeScoringService(
+            self.polygraph, config=self.runtime_config
+        ).start()
+
+    # -- serving --------------------------------------------------------
+
+    def submit_wire(self, wire: bytes) -> PendingVerdict:
+        service = self.service
+        if service is None:
+            raise ShardError(f"shard {self.shard_id} is not running")
+        return service.submit_wire(wire)
+
+    def score_chunk(self, wires: Sequence[bytes]) -> List[Verdict]:
+        """Pipelined scoring of one routed chunk."""
+        service = self.service
+        if service is None:
+            raise ShardError(f"shard {self.shard_id} is not running")
+        window = max(1, service.config.queue_capacity // 2)
+        verdicts: List[Optional[Verdict]] = [None] * len(wires)
+        pending: List[tuple] = []
+        for index, wire in enumerate(wires):
+            pending.append((index, service.submit_wire(wire)))
+            if len(pending) >= window:
+                slot, handle = pending.pop(0)
+                verdicts[slot] = handle.result(timeout=30.0)
+        for slot, handle in pending:
+            verdicts[slot] = handle.result(timeout=30.0)
+        return verdicts  # type: ignore[return-value]
+
+    # -- control --------------------------------------------------------
+
+    def ping(self) -> ShardStatus:
+        service = self.service
+        if service is None or not service.pool.is_running:
+            raise ShardError(f"shard {self.shard_id} is not running")
+        return ShardStatus(
+            shard_id=self.shard_id,
+            model_version=self.model_version,
+            model_generation=self.polygraph.model_generation,
+            queue_depth=service.pool.queue_depth,
+            scored_count=service.scored_count,
+            flagged_count=service.flagged_count,
+        )
+
+    def install(
+        self, path: Union[str, Path], digest: Optional[str], version: int
+    ) -> int:
+        """Adopt a new replica: load, digest-verify, atomic swap."""
+        path = Path(path)
+        _verify_replica(path, digest)
+        replica = BrowserPolygraph.load(path)
+        self.polygraph.install(replica.cluster_model)
+        self.model_path = path
+        self.model_version = version
+        return version
+
+
+# ----------------------------------------------------------------------
+# process backend
+
+
+def _shard_worker(conn, model_path: str, runtime_config: RuntimeConfig) -> None:
+    """Child-process main loop: one scoring runtime behind a pipe."""
+    polygraph = BrowserPolygraph.load(model_path)
+    service = RuntimeScoringService(polygraph, config=runtime_config).start()
+    model_version = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "score":
+            handles = [service.submit_wire(wire) for wire in message[1]]
+            verdicts = [handle.result(timeout=30.0) for handle in handles]
+            conn.send(
+                [
+                    (
+                        v.session_id,
+                        v.accepted,
+                        v.flagged,
+                        v.risk_factor,
+                        v.reject_reason,
+                        v.latency_ms,
+                    )
+                    for v in verdicts
+                ]
+            )
+        elif op == "ping":
+            conn.send(
+                (
+                    model_version,
+                    polygraph.model_generation,
+                    service.pool.queue_depth,
+                    service.scored_count,
+                    service.flagged_count,
+                )
+            )
+        elif op == "install":
+            _, path, digest, version = message
+            try:
+                _verify_replica(Path(path), digest)
+                replica = BrowserPolygraph.load(path)
+                polygraph.install(replica.cluster_model)
+                model_version = version
+                conn.send(("ok", version))
+            except Exception as exc:  # noqa: BLE001 — reply, don't die
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        elif op == "stop":
+            service.shutdown(drain=bool(message[1]))
+            conn.send(("stopped",))
+            break
+    conn.close()
+
+
+class _Call:
+    """One control-plane request travelling through the I/O thread."""
+
+    __slots__ = ("message", "event", "reply", "error")
+
+    def __init__(self, message: tuple) -> None:
+        self.message = message
+        self.event = threading.Event()
+        self.reply = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self, timeout: float):
+        if not self.event.wait(timeout):
+            raise ShardError("shard control call timed out")
+        if self.error is not None:
+            raise self.error
+        return self.reply
+
+
+class ProcessShard:
+    """One scoring shard hosted in a child process.
+
+    All pipe traffic flows through a single I/O thread: scoring
+    submissions coalesce into chunks (one pickle round-trip scores many
+    wires), and control calls (ping, install, stop) interleave between
+    chunks.  A dead child fails outstanding submissions with
+    :data:`~repro.runtime.pool.OVERLOADED_REASON` verdicts, which the
+    router treats as its cue to re-route.
+    """
+
+    _CHUNK = 128
+
+    def __init__(
+        self,
+        shard_id: str,
+        model_path: Union[str, Path],
+        runtime_config: RuntimeConfig = RuntimeConfig(),
+        expected_digest: Optional[str] = None,
+        model_version: int = 1,
+    ) -> None:
+        self.shard_id = shard_id
+        self.model_path = Path(model_path)
+        self.runtime_config = runtime_config
+        self.model_version = model_version
+        self._expected_digest = expected_digest
+        _verify_replica(self.model_path, expected_digest)
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._process = None
+        self._conn = None
+        self._inbox: "queue.Queue[object]" = queue.Queue()
+        self._io_thread: Optional[threading.Thread] = None
+        self._alive = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ProcessShard":
+        if self._alive:
+            return self
+        parent_conn, child_conn = self._ctx.Pipe()
+        self._process = self._ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, str(self.model_path), self.runtime_config),
+            name=f"polygraph-shard-{self.shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._alive = True
+        self._io_thread = threading.Thread(
+            target=self._io_loop,
+            name=f"polygraph-shard-io-{self.shard_id}",
+            daemon=True,
+        )
+        self._io_thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        if not self._alive:
+            self._reap()
+            return
+        try:
+            self._call(("stop", drain), timeout=30.0)
+        except ShardError:
+            pass
+        self._alive = False
+        self._reap()
+
+    def kill(self) -> None:
+        """Crash simulation: SIGKILL the child mid-batch."""
+        process = self._process
+        if process is not None and process.is_alive():
+            process.kill()
+        self._alive = False
+
+    def restart(self) -> None:
+        self.kill()
+        self._reap()
+        self.start()
+
+    def _reap(self) -> None:
+        process = self._process
+        self._process = None
+        if process is not None:
+            process.join(timeout=5.0)
+        conn = self._conn
+        self._conn = None
+        if conn is not None:
+            conn.close()
+        thread = self._io_thread
+        self._io_thread = None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+
+    # -- serving --------------------------------------------------------
+
+    def submit_wire(self, wire: bytes) -> PendingVerdict:
+        if not self._alive:
+            raise ShardError(f"shard {self.shard_id} is not running")
+        handle = PendingVerdict()
+        self._inbox.put((wire, handle))
+        return handle
+
+    def score_chunk(self, wires: Sequence[bytes]) -> List[Verdict]:
+        handles = [self.submit_wire(wire) for wire in wires]
+        return [handle.result(timeout=30.0) for handle in handles]
+
+    # -- control --------------------------------------------------------
+
+    def ping(self) -> ShardStatus:
+        reply = self._call(("ping",), timeout=5.0)
+        version, generation, depth, scored, flagged = reply
+        # The child tracks installs it performed; before the first
+        # install its counter is 0 and the boot version stands.
+        return ShardStatus(
+            shard_id=self.shard_id,
+            model_version=version or self.model_version,
+            model_generation=generation,
+            queue_depth=depth,
+            scored_count=scored,
+            flagged_count=flagged,
+        )
+
+    def install(
+        self, path: Union[str, Path], digest: Optional[str], version: int
+    ) -> int:
+        reply = self._call(("install", str(path), digest, version), timeout=30.0)
+        if reply[0] != "ok":
+            raise ShardError(f"shard {self.shard_id} install failed: {reply[1]}")
+        self.model_path = Path(path)
+        self.model_version = version
+        return version
+
+    def _call(self, message: tuple, timeout: float):
+        if not self._alive:
+            raise ShardError(f"shard {self.shard_id} is not running")
+        call = _Call(message)
+        self._inbox.put(call)
+        return call.wait(timeout)
+
+    # -- pipe pump ------------------------------------------------------
+
+    def _io_loop(self) -> None:
+        conn = self._conn
+        pending_scores: List[tuple] = []
+        while self._alive:
+            try:
+                item = self._inbox.get(timeout=0.01)
+            except queue.Empty:
+                item = None
+            try:
+                if isinstance(item, _Call):
+                    self._flush_scores(conn, pending_scores)
+                    conn.send(item.message)
+                    item.reply = conn.recv()
+                    item.event.set()
+                    if item.message[0] == "stop":
+                        return
+                    continue
+                if item is not None:
+                    pending_scores.append(item)
+                    # Coalesce whatever else is already queued.
+                    while len(pending_scores) < self._CHUNK:
+                        try:
+                            extra = self._inbox.get_nowait()
+                        except queue.Empty:
+                            break
+                        if isinstance(extra, _Call):
+                            self._inbox.put(extra)
+                            break
+                        pending_scores.append(extra)
+                self._flush_scores(conn, pending_scores)
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                self._alive = False
+                for _, handle in pending_scores:
+                    handle._complete(overloaded_verdict())
+                pending_scores = []
+                if isinstance(item, _Call):
+                    item.error = ShardError(
+                        f"shard {self.shard_id} pipe broke: {type(exc).__name__}"
+                    )
+                    item.event.set()
+                self._drain_inbox()
+                return
+
+    def _flush_scores(self, conn, pending: List[tuple]) -> None:
+        if not pending:
+            return
+        wires = [wire for wire, _ in pending]
+        conn.send(("score", wires))
+        replies = conn.recv()
+        for (_, handle), reply in zip(pending, replies):
+            sid, accepted, flagged, risk, reason, latency = reply
+            handle._complete(
+                Verdict(
+                    session_id=sid,
+                    accepted=accepted,
+                    flagged=flagged,
+                    risk_factor=risk,
+                    reject_reason=reason,
+                    latency_ms=latency,
+                )
+            )
+        pending.clear()
+
+    def _drain_inbox(self) -> None:
+        """Fail everything queued behind a dead pipe (nothing hangs)."""
+        while True:
+            try:
+                item = self._inbox.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(item, _Call):
+                item.error = ShardError(f"shard {self.shard_id} is not running")
+                item.event.set()
+            else:
+                item[1]._complete(overloaded_verdict())
+
+
+# ----------------------------------------------------------------------
+# supervisor
+
+
+class _Health:
+    __slots__ = ("healthy", "failures", "restarts")
+
+    def __init__(self) -> None:
+        self.healthy = True
+        self.failures = 0
+        self.restarts = 0
+
+
+class ShardSupervisor:
+    """Owns N shards, the ring, and the heartbeat/restart loop.
+
+    Parameters
+    ----------
+    model_path:
+        The replica source every shard loads (and re-loads on restart).
+    expected_digest:
+        sha256 recorded by the registry for that file; every shard
+        verifies its replica against it before serving.
+    model_version:
+        The registry version the replicas correspond to; becomes the
+        initial serving version.
+    """
+
+    def __init__(
+        self,
+        model_path: Union[str, Path],
+        config: ClusterConfig = ClusterConfig(),
+        runtime_config: RuntimeConfig = RuntimeConfig(),
+        expected_digest: Optional[str] = None,
+        model_version: int = 1,
+    ) -> None:
+        self.config = config
+        self.runtime_config = runtime_config
+        self.model_path = Path(model_path)
+        self.expected_digest = expected_digest
+        shard_cls = ThreadShard if config.backend == "thread" else ProcessShard
+        self.shards: Dict[str, object] = {}
+        for index in range(config.n_shards):
+            shard_id = f"s{index}"
+            self.shards[shard_id] = shard_cls(
+                shard_id,
+                self.model_path,
+                runtime_config=runtime_config,
+                expected_digest=expected_digest,
+                model_version=model_version,
+            )
+        self.ring = HashRing(vnodes=config.vnodes)
+        self._health: Dict[str, _Health] = {
+            shard_id: _Health() for shard_id in self.shards
+        }
+        self._serving_version = model_version
+        self._lock = threading.RLock()
+        self._heartbeat: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._owned_tmp: Optional[tempfile.TemporaryDirectory] = None
+        self.rollout_managers: List[object] = []
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        config: ClusterConfig = ClusterConfig(),
+        runtime_config: RuntimeConfig = RuntimeConfig(),
+    ) -> "ShardSupervisor":
+        """Replicate the registry's live model across the shards."""
+        version = registry.live_version
+        if version < 1:
+            raise LookupError("the registry has no live model to replicate")
+        entry = next(e for e in registry.versions() if e["version"] == version)
+        return cls(
+            Path(registry.root) / entry["path"],
+            config=config,
+            runtime_config=runtime_config,
+            expected_digest=entry.get("sha256"),
+            model_version=version,
+        )
+
+    @classmethod
+    def from_polygraph(
+        cls,
+        polygraph: BrowserPolygraph,
+        config: ClusterConfig = ClusterConfig(),
+        runtime_config: RuntimeConfig = RuntimeConfig(),
+    ) -> "ShardSupervisor":
+        """Serve an in-memory pipeline: save one replica source, share it."""
+        tmp = tempfile.TemporaryDirectory(prefix="polygraph-cluster-")
+        path = Path(tmp.name) / "model-v001.json"
+        digest = polygraph.save(path)
+        supervisor = cls(
+            path,
+            config=config,
+            runtime_config=runtime_config,
+            expected_digest=digest,
+            model_version=1,
+        )
+        supervisor._owned_tmp = tmp
+        return supervisor
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ShardSupervisor":
+        with self._lock:
+            for shard_id, shard in self.shards.items():
+                shard.start()
+                self.ring.add(shard_id)
+            if self._heartbeat is None:
+                self._stop.clear()
+                self._heartbeat = threading.Thread(
+                    target=self._heartbeat_loop,
+                    name="polygraph-cluster-heartbeat",
+                    daemon=True,
+                )
+                self._heartbeat.start()
+        return self
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the heartbeat, then settle and stop every shard."""
+        self._stop.set()
+        heartbeat = self._heartbeat
+        self._heartbeat = None
+        if heartbeat is not None:
+            heartbeat.join(timeout=10.0)
+        with self._lock:
+            for shard in self.shards.values():
+                try:
+                    shard.stop(drain=drain)
+                except ShardError:
+                    pass
+        tmp = self._owned_tmp
+        self._owned_tmp = None
+        if tmp is not None:
+            tmp.cleanup()
+
+    def drain(self) -> None:
+        """Graceful SIGTERM path: score every queued request, then stop."""
+        self.shutdown(drain=True)
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+    # -- routing surface ------------------------------------------------
+
+    def route(self, key: bytes) -> List[object]:
+        """Healthy shards in failover order for ``key``."""
+        with self._lock:
+            return [self.shards[sid] for sid in self.ring.preference(key)]
+
+    @property
+    def serving_version(self) -> int:
+        """The model version the quorum of the cluster has converged on."""
+        with self._lock:
+            return self._serving_version
+
+    def set_serving_version(self, version: int) -> None:
+        with self._lock:
+            self._serving_version = version
+
+    # -- health ---------------------------------------------------------
+
+    def note_failure(self, shard_id: str) -> None:
+        """Router-reported failure; counted like a missed heartbeat."""
+        with self._lock:
+            health = self._health.get(shard_id)
+            if health is None:
+                return
+            health.failures += 1
+            if health.healthy and health.failures >= self.config.unhealthy_after:
+                self._mark_unhealthy(shard_id)
+
+    def kill(self, shard_id: str) -> None:
+        """Crash one shard (tests, chaos drills); recovery is automatic."""
+        self.shards[shard_id].kill()
+
+    def _mark_unhealthy(self, shard_id: str) -> None:
+        health = self._health[shard_id]
+        if health.healthy:
+            health.healthy = False
+            self.ring.remove(shard_id)
+
+    def _mark_healthy(self, shard_id: str) -> None:
+        health = self._health[shard_id]
+        health.healthy = True
+        health.failures = 0
+        self.ring.add(shard_id)
+
+    @property
+    def healthy_count(self) -> int:
+        with self._lock:
+            return sum(1 for h in self._health.values() if h.healthy)
+
+    def restarts(self, shard_id: str) -> int:
+        with self._lock:
+            return self._health[shard_id].restarts
+
+    def check_once(self) -> None:
+        """One heartbeat sweep (the loop calls this; tests may too)."""
+        for shard_id, shard in list(self.shards.items()):
+            with self._lock:
+                health = self._health[shard_id]
+                healthy = health.healthy
+            if healthy:
+                try:
+                    shard.ping()
+                except Exception:  # noqa: BLE001 — any failure counts
+                    self.note_failure(shard_id)
+                else:
+                    with self._lock:
+                        health.failures = 0
+            else:
+                try:
+                    shard.restart()
+                    shard.ping()
+                except Exception:  # noqa: BLE001 — retry next sweep
+                    continue
+                with self._lock:
+                    self._mark_healthy(shard_id)
+                    health.restarts += 1
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.config.heartbeat_interval_s):
+            self.check_once()
+
+    # -- rollout integration -------------------------------------------
+
+    def attach_rollout(self, registry, config=None) -> List[object]:
+        """Resume the registry's persisted rollout on every shard.
+
+        Each thread shard gets its own
+        :class:`~repro.rollout.manager.RolloutManager` resumed from the
+        *same* persisted state file, so every shard routes arms with the
+        same salt and the same stage fraction — a session's sticky
+        canary bucket agrees no matter which shard answers it.  (The
+        process backend scores across a pipe and cannot host an
+        in-process manager; arm routing there needs the child to resume
+        the state itself, which this PR does not wire.)
+        """
+        if self.config.backend != "thread":
+            raise NotImplementedError(
+                "rollout attach requires the thread backend"
+            )
+        from repro.rollout import RolloutManager
+
+        managers: List[object] = []
+        for shard in self.shards.values():
+            manager = RolloutManager(registry, runtime=shard.service, config=config)
+            manager.resume()
+            managers.append(manager)
+        self.rollout_managers = managers
+        return managers
+
+    @property
+    def rollout(self):
+        """The first shard's rollout manager (``/rollout`` endpoint)."""
+        return self.rollout_managers[0] if self.rollout_managers else None
+
+    # -- introspection --------------------------------------------------
+
+    def shard_versions(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                shard_id: shard.model_version
+                for shard_id, shard in self.shards.items()
+            }
+
+    def status_dict(self) -> dict:
+        """JSON-friendly view for ``GET /cluster`` and the CLI."""
+        with self._lock:
+            shards = []
+            for shard_id, shard in self.shards.items():
+                health = self._health[shard_id]
+                shards.append(
+                    {
+                        "shard_id": shard_id,
+                        "healthy": health.healthy,
+                        "failures": health.failures,
+                        "restarts": health.restarts,
+                        "model_version": shard.model_version,
+                        "on_ring": shard_id in self.ring,
+                    }
+                )
+            return {
+                "backend": self.config.backend,
+                "n_shards": self.config.n_shards,
+                "healthy_shards": sum(1 for s in shards if s["healthy"]),
+                "serving_version": self._serving_version,
+                "vnodes": self.config.vnodes,
+                "shards": shards,
+            }

@@ -9,7 +9,10 @@ under any WSGI server (``wsgiref.simple_server`` works for demos):
 * ``GET  /metrics`` — scored/flagged counters and the quarantine
   breakdown, Prometheus-style plain text;
 * ``GET  /rollout`` — status of the in-flight model rollout (stage,
-  disagreement report), when the runtime has one attached.
+  disagreement report), when the runtime has one attached;
+* ``GET  /cluster`` — shard topology and routing counters, when a
+  :class:`~repro.cluster.router.ClusterRouter` is serving (404 with a
+  JSON body in single-process mode).
 
 The app never exposes more than the verdict: the cluster table and the
 model internals stay server-side, which matters because Algorithm 1's
@@ -25,6 +28,10 @@ from repro.fingerprint.script import MAX_PAYLOAD_BYTES
 from repro.service.scoring import ScoringService
 
 __all__ = ["CollectionApp"]
+
+# Shed traffic should come back, just not immediately: the runtime's
+# queue drains in milliseconds, so a short client backoff suffices.
+_RETRY_AFTER_SECONDS = "1"
 
 # The WSGI body cap IS the wire-contract cap (paper Section 3's 1KB
 # budget): anything larger would be quarantined as OVERSIZED by the
@@ -60,6 +67,8 @@ class CollectionApp:
             return self._metrics(start_response)
         if method == "GET" and path == "/rollout":
             return self._rollout(start_response)
+        if method == "GET" and path == "/cluster":
+            return self._cluster(start_response)
         return self._respond(
             start_response, "404 Not Found", {"error": "unknown endpoint"}
         )
@@ -84,7 +93,21 @@ class CollectionApp:
             "latency_ms": round(verdict.latency_ms, 3),
         }
         if not verdict.accepted:
+            # Imported here: repro.runtime imports this package's
+            # scoring types, so a module-level import would be circular.
+            from repro.runtime.pool import OVERLOADED_REASON
+
             document["reject_reason"] = verdict.reject_reason
+            if verdict.reject_reason == OVERLOADED_REASON:
+                # Overload is the server's condition, not the payload's:
+                # 503 + Retry-After tells a well-behaved client to back
+                # off briefly instead of treating the session as bad.
+                return self._respond(
+                    start_response,
+                    "503 Service Unavailable",
+                    document,
+                    extra_headers=[("Retry-After", _RETRY_AFTER_SECONDS)],
+                )
             return self._respond(start_response, "400 Bad Request", document)
         return self._respond(start_response, "202 Accepted", document)
 
@@ -110,6 +133,16 @@ class CollectionApp:
                 {"error": "no rollout in progress"},
             )
         return self._respond(start_response, "200 OK", manager.status_dict())
+
+    def _cluster(self, start_response: Callable) -> List[bytes]:
+        status = getattr(self.service, "cluster_status", None)
+        if status is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "not serving as a cluster", "mode": "single-process"},
+            )
+        return self._respond(start_response, "200 OK", status())
 
     def _metrics(self, start_response: Callable) -> List[bytes]:
         quarantine = self.service.validator.quarantine
@@ -144,14 +177,16 @@ class CollectionApp:
 
     @staticmethod
     def _respond(
-        start_response: Callable, status: str, document: dict
+        start_response: Callable,
+        status: str,
+        document: dict,
+        extra_headers: Iterable[Tuple[str, str]] = (),
     ) -> List[bytes]:
         body = json.dumps(document).encode("utf-8")
-        start_response(
-            status,
-            [
-                ("Content-Type", "application/json"),
-                ("Content-Length", str(len(body))),
-            ],
-        )
+        headers = [
+            ("Content-Type", "application/json"),
+            ("Content-Length", str(len(body))),
+        ]
+        headers.extend(extra_headers)
+        start_response(status, headers)
         return [body]

@@ -39,7 +39,9 @@ class FlagRateMonitor:
         Alarm when the windowed rate leaves
         ``[expected / factor, expected * factor]``.
     min_observations:
-        No alarms until the window has this many verdicts.
+        No alarms until the window has this many verdicts.  A window
+        smaller than this warms up at its own capacity instead — a full
+        window is always allowed to alarm, no matter how small.
     """
 
     def __init__(
@@ -81,7 +83,7 @@ class FlagRateMonitor:
     @property
     def alarm(self) -> bool:
         """Whether the windowed rate left the healthy band."""
-        if len(self._verdicts) < self.min_observations:
+        if len(self._verdicts) < min(self.min_observations, self.window):
             return False
         rate = self.windowed_rate
         low = self.expected_rate / self.tolerance_factor

@@ -229,6 +229,144 @@ def test_serve_parser_accepts_runtime_flags(artifacts):
     assert args.runtime and args.workers == 2 and args.cache_ttl == 60.0
 
 
+def test_serve_parser_accepts_cluster_flags(artifacts):
+    from repro.cli import _build_parser
+
+    _, model_path = artifacts
+    args = _build_parser().parse_args(
+        [
+            "serve",
+            model_path,
+            "--shards", "4",
+            "--shard-backend", "thread",
+            "--affinity", "fingerprint",
+            "--hedge-ms", "5.0",
+        ]
+    )
+    assert args.shards == 4
+    assert args.shard_backend == "thread"
+    assert args.affinity == "fingerprint"
+    assert args.hedge_ms == 5.0
+
+
+def test_build_cluster_serves_a_router(artifacts):
+    import argparse
+
+    from repro.cli import _build_cluster
+    from repro.cluster import ClusterRouter
+
+    _, model_path = artifacts
+    args = argparse.Namespace(
+        model=model_path, shards=2, shard_backend="thread",
+        affinity="session", hedge_ms=None, workers=1, batch_size=16,
+        linger_ms=1.0, queue_capacity=256, cache_entries=128, cache_ttl=60.0,
+    )
+    router, managers = _build_cluster(args, None)
+    try:
+        assert isinstance(router, ClusterRouter)
+        assert managers == []
+        assert router.supervisor.healthy_count == 2
+        assert router.cluster_status()["n_shards"] == 2
+    finally:
+        router.shutdown()
+
+
+def test_cluster_status_command_against_live_server(artifacts, capsys):
+    import threading
+    from wsgiref.simple_server import make_server
+
+    from repro.cluster import ClusterConfig, ClusterRouter, ShardSupervisor
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.service.api import CollectionApp
+
+    _, model_path = artifacts
+    supervisor = ShardSupervisor.from_polygraph(
+        BrowserPolygraph.load(model_path),
+        config=ClusterConfig(n_shards=2, heartbeat_interval_s=5.0),
+    )
+    router = ClusterRouter(supervisor).start()
+    httpd = make_server("127.0.0.1", 0, CollectionApp(router))
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{httpd.server_port}"
+        assert main(["cluster", "status", "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 shards healthy" in out
+        assert "s0" in out and "s1" in out
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5)
+        httpd.server_close()
+        router.shutdown()
+
+
+def test_cluster_status_reports_single_process_servers(artifacts, capsys):
+    import threading
+    from wsgiref.simple_server import make_server
+
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.service.api import CollectionApp
+    from repro.service.scoring import ScoringService
+
+    _, model_path = artifacts
+    service = ScoringService(BrowserPolygraph.load(model_path))
+    httpd = make_server("127.0.0.1", 0, CollectionApp(service))
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{httpd.server_port}"
+        assert main(["cluster", "status", "--url", url]) == 1
+        assert "single-process" in capsys.readouterr().out
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5)
+        httpd.server_close()
+
+
+def test_cluster_status_unreachable_server(capsys):
+    assert main(["cluster", "status", "--url", "http://127.0.0.1:1"]) == 2
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_serve_drains_on_sigterm(artifacts):
+    import os
+    import signal
+    import threading
+    import time
+    from urllib.request import urlopen
+    from wsgiref.simple_server import make_server
+
+    from repro.cli import _serve_until_signalled
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.service.api import CollectionApp
+    from repro.service.scoring import ScoringService
+
+    _, model_path = artifacts
+    service = ScoringService(BrowserPolygraph.load(model_path))
+    with make_server("127.0.0.1", 0, CollectionApp(service)) as httpd:
+        port = httpd.server_port
+
+        def _fire():
+            # Prove the server answers, then deliver a real SIGTERM.
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                try:
+                    with urlopen(
+                        f"http://127.0.0.1:{port}/health", timeout=2.0
+                    ) as response:
+                        assert response.status == 200
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        threading.Thread(target=_fire, daemon=True).start()
+        before = signal.getsignal(signal.SIGTERM)
+        _serve_until_signalled(httpd)  # returns only because of the signal
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
 def test_build_service_selects_runtime(artifacts):
     import argparse
 

@@ -1,0 +1,425 @@
+"""Sharded serving cluster: ring, router, supervisor, distribution.
+
+The contract under test is the one the ISSUE pins down: placement is
+deterministic and minimal-movement, a killed shard loses no requests,
+hedged/re-routed requests are byte-identical to single-shard scoring,
+and a rollout flip at quorum never mixes generations for one session.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    ModelDistributor,
+    RouterConfig,
+    ShardError,
+    ShardSupervisor,
+)
+from repro.cluster.ring import HashRing, wire_routing_key
+from repro.core.pipeline import BrowserPolygraph
+from repro.core.retraining import ModelRegistry
+from repro.runtime.pool import OVERLOADED_REASON
+from repro.service.api import CollectionApp
+from repro.service.scoring import ScoringService
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+from repro.traffic.replay import iter_wire_payloads
+
+
+def _essence(verdict):
+    """Every verdict field except latency (the only legitimate delta)."""
+    return (
+        verdict.session_id,
+        verdict.accepted,
+        verdict.flagged,
+        verdict.risk_factor,
+        verdict.reject_reason,
+    )
+
+
+@pytest.fixture(scope="module")
+def wires(small_dataset):
+    return [w for _, w in zip(range(600), iter_wire_payloads(small_dataset))]
+
+
+@pytest.fixture(scope="module")
+def alt_trained():
+    """A second model whose verdicts can differ from ``trained``'s."""
+    dataset = TrafficSimulator(TrafficConfig(seed=23).scaled(4_000)).generate()
+    return BrowserPolygraph().fit(dataset)
+
+
+# ----------------------------------------------------------------------
+# ring
+
+
+class TestHashRing:
+    def test_placement_is_deterministic_across_instances(self):
+        first, second = HashRing(), HashRing()
+        for ring in (first, second):
+            for node in ("s0", "s1", "s2", "s3"):
+                ring.add(node)
+        keys = [f"sess-{i}".encode() for i in range(500)]
+        assert [first.node_for(k) for k in keys] == [
+            second.node_for(k) for k in keys
+        ]
+
+    def test_remove_moves_only_the_removed_nodes_keys(self):
+        ring = HashRing()
+        for node in ("s0", "s1", "s2", "s3"):
+            ring.add(node)
+        keys = [f"sess-{i}".encode() for i in range(2_000)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove("s2")
+        for key, owner in before.items():
+            if owner == "s2":
+                assert ring.node_for(key) != "s2"
+            else:
+                assert ring.node_for(key) == owner
+
+    def test_readd_restores_previous_placement(self):
+        ring = HashRing()
+        for node in ("s0", "s1", "s2"):
+            ring.add(node)
+        keys = [f"sess-{i}".encode() for i in range(500)]
+        before = [ring.node_for(k) for k in keys]
+        ring.remove("s1")
+        ring.add("s1")
+        assert [ring.node_for(k) for k in keys] == before
+
+    def test_preference_is_the_failover_order(self):
+        ring = HashRing()
+        for node in ("s0", "s1", "s2", "s3"):
+            ring.add(node)
+        key = b"sess-42"
+        order = ring.preference(key)
+        assert sorted(order) == ["s0", "s1", "s2", "s3"]
+        assert order[0] == ring.node_for(key)
+        ring.remove(order[0])
+        assert ring.node_for(key) == order[1]
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(vnodes=64)
+        for node in ("s0", "s1", "s2", "s3"):
+            ring.add(node)
+        keys = [f"sess-{i}".encode() for i in range(4_000)]
+        counts = ring.spread(keys)
+        assert sum(counts.values()) == len(keys)
+        for node, count in counts.items():
+            assert count > len(keys) * 0.10, (node, counts)
+
+    def test_epoch_bumps_only_on_membership_change(self):
+        ring = HashRing()
+        ring.add("s0")
+        epoch = ring.epoch
+        ring.add("s0")  # idempotent: no change, no bump
+        assert ring.epoch == epoch
+        ring.remove("s0")
+        assert ring.epoch == epoch + 1
+        ring.remove("s0")
+        assert ring.epoch == epoch + 1
+
+    def test_empty_ring_has_no_owner(self):
+        ring = HashRing()
+        assert ring.node_for(b"anything") is None
+        assert ring.preference(b"anything") == []
+
+
+class TestWireRoutingKey:
+    WIRE = b'{"sid":"sess-1","ua":"Mozilla/5.0","f":[1,2,3]}'
+
+    def test_session_affinity_extracts_the_sid(self):
+        assert wire_routing_key(self.WIRE, "session") == b"sess-1"
+
+    def test_fingerprint_affinity_is_sid_independent(self):
+        other = self.WIRE.replace(b"sess-1", b"sess-2")
+        assert wire_routing_key(self.WIRE, "fingerprint") == wire_routing_key(
+            other, "fingerprint"
+        )
+        assert wire_routing_key(self.WIRE, "session") != wire_routing_key(
+            other, "session"
+        )
+
+    def test_malformed_wire_falls_back_to_whole_payload(self):
+        assert wire_routing_key(b"not json at all") == b"not json at all"
+
+
+# ----------------------------------------------------------------------
+# cluster scoring
+
+
+class TestClusterScoring:
+    def test_cluster_verdicts_match_the_reference_service(self, trained, wires):
+        reference = ScoringService(trained)
+        expected = [_essence(reference.score_wire(w)) for w in wires]
+        with ShardSupervisor.from_polygraph(
+            trained, config=ClusterConfig(n_shards=3, heartbeat_interval_s=5.0)
+        ) as supervisor:
+            router = ClusterRouter(supervisor)
+            verdicts = router.score_many(wires)
+            assert [_essence(v) for v in verdicts] == expected
+            assert router.scored_count == sum(1 for v in verdicts if v.accepted)
+
+    def test_killed_shard_loses_no_requests(self, trained, wires):
+        reference = ScoringService(trained)
+        expected = [_essence(reference.score_wire(w)) for w in wires]
+        supervisor = ShardSupervisor.from_polygraph(
+            trained, config=ClusterConfig(n_shards=2, heartbeat_interval_s=0.05)
+        )
+        router = ClusterRouter(supervisor).start()
+        try:
+            half = len(wires) // 2
+            first = router.score_many(wires[:half])
+            supervisor.kill("s0")
+            second = router.score_many(wires[half:])
+            verdicts = first + second
+            assert len(verdicts) == len(wires)
+            assert not any(
+                v is None or v.reject_reason == OVERLOADED_REASON
+                for v in verdicts
+            )
+            assert [_essence(v) for v in verdicts] == expected
+            deadline = time.time() + 10.0
+            while time.time() < deadline and supervisor.healthy_count < 2:
+                time.sleep(0.02)
+            assert supervisor.healthy_count == 2
+            assert supervisor.restarts("s0") == 1
+        finally:
+            router.shutdown()
+
+    def test_hedged_requests_are_byte_identical(self, trained, wires):
+        sample = wires[:150]
+        reference = ScoringService(trained)
+        expected = [_essence(reference.score_wire(w)) for w in sample]
+        with ShardSupervisor.from_polygraph(
+            trained, config=ClusterConfig(n_shards=2, heartbeat_interval_s=5.0)
+        ) as supervisor:
+            router = ClusterRouter(
+                supervisor, RouterConfig(hedge_after_ms=0.0)
+            )
+            verdicts = [router.score_wire(w) for w in sample]
+            assert [_essence(v) for v in verdicts] == expected
+            assert router.hedged_total == len(sample)
+
+    def test_fingerprint_affinity_matches_session_affinity(self, trained, wires):
+        sample = wires[:200]
+        outcomes = []
+        for affinity in ("session", "fingerprint"):
+            with ShardSupervisor.from_polygraph(
+                trained,
+                config=ClusterConfig(n_shards=3, heartbeat_interval_s=5.0),
+            ) as supervisor:
+                router = ClusterRouter(supervisor, RouterConfig(affinity=affinity))
+                outcomes.append(
+                    [_essence(v) for v in router.score_many(sample)]
+                )
+        assert outcomes[0] == outcomes[1]
+
+    def test_rejects_are_aggregated_like_a_validator(self, trained):
+        with ShardSupervisor.from_polygraph(
+            trained, config=ClusterConfig(n_shards=2, heartbeat_interval_s=5.0)
+        ) as supervisor:
+            router = ClusterRouter(supervisor)
+            verdict = router.score_wire(b"\x00 not json")
+            assert not verdict.accepted
+            quarantine = router.validator.quarantine
+            assert quarantine.total_rejects == 1
+            counts = quarantine.counts()
+            assert {reason.value for reason in counts} == {"malformed"}
+
+
+class TestProcessBackend:
+    def test_process_shards_score_and_recover(self, trained, wires):
+        sample = wires[:60]
+        reference = ScoringService(trained)
+        expected = [_essence(reference.score_wire(w)) for w in sample]
+        supervisor = ShardSupervisor.from_polygraph(
+            trained,
+            config=ClusterConfig(
+                n_shards=2, backend="process", heartbeat_interval_s=0.1
+            ),
+        )
+        router = ClusterRouter(supervisor).start()
+        try:
+            verdicts = router.score_many(sample)
+            assert [_essence(v) for v in verdicts] == expected
+            status = supervisor.shards["s0"].ping()
+            assert status.model_version == 1
+            supervisor.kill("s1")
+            with pytest.raises(ShardError):
+                supervisor.shards["s1"].ping()
+            deadline = time.time() + 15.0
+            while time.time() < deadline and supervisor.healthy_count < 2:
+                time.sleep(0.05)
+            assert supervisor.healthy_count == 2
+        finally:
+            router.shutdown()
+
+
+# ----------------------------------------------------------------------
+# replicated distribution
+
+
+class TestDistribution:
+    @pytest.fixture()
+    def registry(self, tmp_path, trained, alt_trained):
+        from datetime import date
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.promote(trained, date(2023, 7, 1), "bootstrap")
+        registry.stage_candidate(alt_trained, date(2023, 8, 1), "retrain")
+        return registry
+
+    def test_quorum_flip_keeps_lagging_shard_on_old_generation(
+        self, registry, wires
+    ):
+        supervisor = ShardSupervisor.from_registry(
+            registry, config=ClusterConfig(n_shards=3, heartbeat_interval_s=5.0)
+        )
+        router = ClusterRouter(
+            supervisor, RouterConfig(hedge_after_ms=0.0)
+        ).start()
+        try:
+            distributor = ModelDistributor(supervisor, registry, quorum=2)
+            assert supervisor.serving_version == 1
+
+            # Wedge one shard so the push can only reach a quorum.
+            blocked = supervisor.shards["s1"]
+            original_install = blocked.install
+            blocked.install = lambda *a, **k: (_ for _ in ()).throw(
+                ShardError("install blocked")
+            )
+            report = distributor.publish(2)
+            assert report.flipped
+            assert report.serving_version == 2
+            assert report.installed == ["s0", "s2"]
+            assert set(report.failed) == {"s1"}
+            assert not report.converged
+            assert distributor.lagging_shards() == ["s1"]
+            # The laggard serves its old generation whole — never a mix.
+            assert blocked.model_version == 1
+
+            # Sessions the laggard owns are answered by it alone: with
+            # hedging forced on, no hedge may cross generations.
+            owned = [
+                w
+                for w in wires
+                if supervisor.ring.node_for(wire_routing_key(w)) == "s1"
+            ][:25]
+            assert owned, "expected some sessions routed to s1"
+            hedges_before = router.hedged_total
+            verdicts = [router.score_wire(w) for w in owned]
+            assert all(v.accepted for v in verdicts)
+            assert router.hedged_total == hedges_before
+
+            # Same-version replicas may still hedge for each other.
+            other = [
+                w
+                for w in wires
+                if supervisor.ring.node_for(wire_routing_key(w)) != "s1"
+            ][:10]
+            router.score_wire(other[0])
+            assert router.hedged_total > hedges_before
+
+            # Unblock and converge: the retry brings the laggard over.
+            blocked.install = original_install
+            retried = distributor.retry_lagging()
+            assert retried.converged
+            assert distributor.lagging_shards() == []
+            assert supervisor.shard_versions() == {"s0": 2, "s1": 2, "s2": 2}
+        finally:
+            router.shutdown()
+
+    def test_digest_mismatch_refuses_the_replica(self, registry, tmp_path):
+        supervisor = ShardSupervisor.from_registry(
+            registry, config=ClusterConfig(n_shards=2, heartbeat_interval_s=5.0)
+        ).start()
+        try:
+            entry = [e for e in registry.versions() if e["version"] == 2][0]
+            path = registry.root / entry["path"]
+            shard = supervisor.shards["s0"]
+            with pytest.raises(ShardError):
+                shard.install(path, "0" * 64, 2)
+            assert shard.model_version == 1
+        finally:
+            supervisor.shutdown()
+
+    def test_quorum_bounds_are_validated(self, registry):
+        supervisor = ShardSupervisor.from_registry(
+            registry, config=ClusterConfig(n_shards=2, heartbeat_interval_s=5.0)
+        )
+        with pytest.raises(ValueError):
+            ModelDistributor(supervisor, registry, quorum=3)
+        with pytest.raises(ValueError):
+            ModelDistributor(supervisor, registry, quorum=0)
+        supervisor.shutdown()
+
+
+# ----------------------------------------------------------------------
+# HTTP surface
+
+
+def _wsgi(app, method, path, body=b""):
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "CONTENT_LENGTH": str(len(body)),
+        "wsgi.input": io.BytesIO(body),
+    }
+    chunks = app(environ, start_response)
+    return captured["status"], captured["headers"], b"".join(chunks)
+
+
+class TestClusterEndpoint:
+    def test_cluster_endpoint_reports_topology(self, trained, wires):
+        with ShardSupervisor.from_polygraph(
+            trained, config=ClusterConfig(n_shards=2, heartbeat_interval_s=5.0)
+        ) as supervisor:
+            router = ClusterRouter(supervisor)
+            router.score_many(wires[:50])
+            app = CollectionApp(router)
+            status, _, body = _wsgi(app, "GET", "/cluster")
+            assert status == "200 OK"
+            document = json.loads(body)
+            assert document["n_shards"] == 2
+            assert document["healthy_shards"] == 2
+            assert len(document["shards"]) == 2
+            assert document["router"]["requests_total"] == 50
+
+            status, _, body = _wsgi(app, "GET", "/metrics")
+            assert status == "200 OK"
+            text = body.decode()
+            assert "polygraph_cluster_shards 2" in text
+            assert 'polygraph_cluster_shard_healthy{shard="s0"} 1' in text
+
+            status, _, body = _wsgi(app, "GET", "/health")
+            assert status == "200 OK"
+            assert json.loads(body)["status"] == "ok"
+
+    def test_cluster_endpoint_degrades_without_a_cluster(self, trained):
+        app = CollectionApp(ScoringService(trained))
+        status, headers, body = _wsgi(app, "GET", "/cluster")
+        assert status == "404 Not Found"
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body)["mode"] == "single-process"
+
+    def test_collect_through_the_cluster(self, trained, wires):
+        with ShardSupervisor.from_polygraph(
+            trained, config=ClusterConfig(n_shards=2, heartbeat_interval_s=5.0)
+        ) as supervisor:
+            app = CollectionApp(ClusterRouter(supervisor))
+            status, _, body = _wsgi(app, "POST", "/collect", wires[0])
+            assert status == "202 Accepted"
+            assert json.loads(body)["accepted"] is True

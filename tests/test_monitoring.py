@@ -1,0 +1,73 @@
+"""FlagRateMonitor edge cases: empty, saturated, and tiny windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.monitoring import FlagRateMonitor
+
+
+class TestFlagRateMonitor:
+    def test_empty_window_never_alarms(self):
+        monitor = FlagRateMonitor()
+        assert monitor.windowed_rate == 0.0
+        assert not monitor.alarm
+        assert "ALARM" not in monitor.describe()
+
+    def test_all_flagged_window_alarms_after_warmup(self):
+        monitor = FlagRateMonitor(window=500, min_observations=100)
+        for _ in range(99):
+            monitor.observe(True)
+        assert not monitor.alarm  # still warming up
+        monitor.observe(True)
+        assert monitor.windowed_rate == 1.0
+        assert monitor.alarm
+        assert "ALARM" in monitor.describe()
+
+    def test_window_shorter_than_warmup_still_alarms_when_full(self):
+        # A window smaller than min_observations can never reach the
+        # nominal warmup count; a full window must be allowed to alarm.
+        monitor = FlagRateMonitor(window=50, min_observations=2_000)
+        for _ in range(49):
+            monitor.observe(True)
+        assert not monitor.alarm
+        monitor.observe(True)
+        assert monitor.alarm
+
+    def test_zero_flag_rate_alarms_below_the_band(self):
+        # Silence is also a failure mode: a model that stops flagging
+        # anything has drifted just as surely as one flagging everything.
+        monitor = FlagRateMonitor(
+            window=1_000, expected_rate=0.01, min_observations=200
+        )
+        for _ in range(500):
+            monitor.observe(False)
+        assert monitor.windowed_rate == 0.0
+        assert monitor.alarm
+
+    def test_healthy_rate_stays_quiet(self):
+        monitor = FlagRateMonitor(
+            window=1_000, expected_rate=0.01, min_observations=200
+        )
+        for index in range(1_000):
+            monitor.observe(index % 100 == 0)  # exactly the expected rate
+        assert not monitor.alarm
+
+    def test_rolling_eviction_keeps_the_count_exact(self):
+        monitor = FlagRateMonitor(
+            window=10, expected_rate=0.01, min_observations=1
+        )
+        for _ in range(10):
+            monitor.observe(True)
+        assert monitor.windowed_rate == 1.0
+        for _ in range(10):
+            monitor.observe(False)
+        assert monitor.windowed_rate == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FlagRateMonitor(window=0)
+        with pytest.raises(ValueError):
+            FlagRateMonitor(expected_rate=0.0)
+        with pytest.raises(ValueError):
+            FlagRateMonitor(tolerance_factor=1.0)
