@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.benchio import write_bench_json  # noqa: E402
 from repro.cluster import (  # noqa: E402
     ClusterConfig,
     ClusterRouter,
@@ -139,6 +140,7 @@ class CellResult:
 
     def to_dict(self) -> dict:
         return {
+            "cell": f"shards-{self.shards}",
             "shards": self.shards,
             "elapsed_s": round(self.elapsed_s, 4),
             "throughput_wps": round(self.throughput_wps, 1),
@@ -252,11 +254,9 @@ class Report:
     reference_checked: int = 0
     failover: Optional[dict] = None
 
-    def to_json(self) -> dict:
+    def extra_json(self) -> dict:
+        """Derived summaries merged on top of the shared bench schema."""
         return {
-            "benchmark": "cluster_scaling",
-            "config": self.config,
-            "cells": [cell.to_dict() for cell in self.cells],
             "speedup_4v1": round(self.speedup_4v1, 2),
             "identical_across_cells": self.identical_across_cells,
             "reference_checked": self.reference_checked,
@@ -397,10 +397,13 @@ def _main(argv: Optional[List[str]] = None) -> int:
     )
     print(report.render())
 
-    document = report.to_json()
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2)
-        handle.write("\n")
+    write_bench_json(
+        args.output,
+        benchmark="cluster_scaling",
+        config=report.config,
+        cells=[cell.to_dict() for cell in report.cells],
+        extra=report.extra_json(),
+    )
     print(f"wrote {args.output}")
 
     failures = []

@@ -1,0 +1,294 @@
+"""Session streams vs single-shot: throughput, revision latency, parity.
+
+Three questions, each a gate:
+
+1. **Parity** — the session layer's first-event verdicts must be
+   *identical* (session id, accepted, flagged, risk factor, reject
+   reason) to the stateless single-vector path scoring the same bytes.
+2. **Detection** — engine-swap streams (Category-3 browsers whose
+   clean spoof leaks its real engine mid-session) are invisible to the
+   single-shot path by construction; the session path must flag them
+   through cluster-flip revisions.
+3. **Cost** — per-event session scoring (state tracking, revision
+   classification, the detect memo) must stay within 2x of single-shot
+   throughput: ``session events/s >= 0.5 x single-shot wires/s``
+   (full runs only; CI's ``--smoke`` skips the timing gate).
+
+The engine-swap donors are chosen with the trained model's cluster
+table (``donor_ok``), guaranteeing the mid-session vector lands in a
+*different* cluster — the benchmark tests the revision machinery, not
+the donor lottery.  Results land in ``BENCH_sessions.json``::
+
+    PYTHONPATH=src python benchmarks/bench_session_stream.py
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.benchio import write_bench_json  # noqa: E402
+from repro.core.pipeline import BrowserPolygraph  # noqa: E402
+from repro.service.scoring import ScoringService  # noqa: E402
+from repro.sessions import SessionScoringService  # noqa: E402
+from repro.traffic.events import (  # noqa: E402
+    EventStreamConfig,
+    StreamScenario,
+    build_event_streams,
+    interleave_events,
+)
+from repro.traffic.generator import TrafficConfig, TrafficSimulator  # noqa: E402
+
+THROUGHPUT_GATE = 0.5  # session events/s vs single-shot wires/s
+
+
+def _essence(verdict) -> tuple:
+    return (
+        verdict.session_id,
+        verdict.accepted,
+        verdict.flagged,
+        verdict.risk_factor,
+        verdict.reject_reason,
+    )
+
+
+def run_benchmark(
+    n_sessions: int,
+    seed: int,
+    engine_swaps: int,
+    benign_fraction: float,
+) -> dict:
+    dataset = TrafficSimulator(
+        TrafficConfig(seed=seed).scaled(n_sessions)
+    ).generate()
+    polygraph = BrowserPolygraph().fit(dataset)
+
+    # Donor filter: the swapped-in surface must belong to a different
+    # trained cluster than the victim's claimed UA, so every engine swap
+    # is detectable by definition (see module docstring).
+    table = polygraph.cluster_model.ua_to_cluster
+
+    def donor_ok(victim_key: str, donor_key: str) -> bool:
+        victim = table.get(victim_key)
+        donor = table.get(donor_key)
+        return victim is not None and donor is not None and victim != donor
+
+    streams = build_event_streams(
+        dataset,
+        EventStreamConfig(
+            seed=seed,
+            engine_swap_sessions=engine_swaps,
+            benign_multi_fraction=benign_fraction,
+        ),
+        donor_ok=donor_ok,
+    )
+    events = interleave_events(streams)
+    first_events = [s.first for s in streams]
+
+    # --- cell 1: single-shot baseline (first events only) -------------
+    single = ScoringService(polygraph)
+    single_wires = [e.core_wire() for e in first_events]
+    started = time.perf_counter()
+    single_verdicts = [single.score_wire(w) for w in single_wires]
+    single_elapsed = time.perf_counter() - started
+    single_eps = len(single_wires) / single_elapsed
+
+    # --- cell 2: full event stream through the session layer ----------
+    sessions = SessionScoringService(ScoringService(polygraph))
+    first_by_sid = {}
+    revision_latencies: List[float] = []
+    swap_flagged = {
+        s.session_id: False
+        for s in streams
+        if s.scenario is StreamScenario.ENGINE_SWAP
+    }
+    started = time.perf_counter()
+    for event in events:
+        t0 = time.perf_counter()
+        observation = sessions.observe_event(event)
+        if observation.revision is not None:
+            revision_latencies.append((time.perf_counter() - t0) * 1000.0)
+        if event.seq == 0:
+            first_by_sid[event.session_id] = observation.verdict
+        if (
+            event.session_id in swap_flagged
+            and observation.session_flagged
+        ):
+            swap_flagged[event.session_id] = True
+    session_elapsed = time.perf_counter() - started
+    session_eps = len(events) / session_elapsed
+
+    # --- gate 1: first-event parity -----------------------------------
+    parity_checked = 0
+    parity_mismatches = 0
+    for verdict, stream in zip(single_verdicts, streams):
+        observed = first_by_sid.get(stream.session_id)
+        if observed is None:
+            continue
+        parity_checked += 1
+        if _essence(verdict) != _essence(observed):
+            parity_mismatches += 1
+
+    # --- gate 2: engine-swap detection --------------------------------
+    swap_streams = [
+        s for s in streams if s.scenario is StreamScenario.ENGINE_SWAP
+    ]
+    swaps_effective = [s for s in swap_streams if s.surface_changes() > 0]
+    single_missed = sum(
+        1
+        for s in swaps_effective
+        if not polygraph.detect_payload(s.first.payload()).flagged
+    )
+    session_caught = sum(
+        1 for s in swaps_effective if swap_flagged[s.session_id]
+    )
+
+    status = sessions.status_dict()
+    mean_revision_ms = (
+        sum(revision_latencies) / len(revision_latencies)
+        if revision_latencies
+        else 0.0
+    )
+    cells = [
+        {
+            "cell": "single_shot",
+            "requests": len(single_wires),
+            "elapsed_s": round(single_elapsed, 4),
+            "events_per_s": round(single_eps, 1),
+        },
+        {
+            "cell": "session_stream",
+            "requests": len(events),
+            "elapsed_s": round(session_elapsed, 4),
+            "events_per_s": round(session_eps, 1),
+            "revisions": status["revisions_total"],
+            "escalations": status["escalations_total"],
+            "mean_revision_latency_ms": round(mean_revision_ms, 3),
+        },
+    ]
+    return {
+        "config": {
+            "n_sessions": n_sessions,
+            "seed": seed,
+            "engine_swaps": engine_swaps,
+            "benign_fraction": benign_fraction,
+            "n_streams": len(streams),
+            "n_events": len(events),
+        },
+        "cells": cells,
+        "throughput_ratio": round(session_eps / single_eps, 3),
+        "first_event_parity": {
+            "checked": parity_checked,
+            "mismatches": parity_mismatches,
+        },
+        "engine_swap": {
+            "streams": len(swap_streams),
+            "effective": len(swaps_effective),
+            "single_shot_missed": single_missed,
+            "session_caught": session_caught,
+        },
+        "revision_reasons": status["revision_reasons"],
+    }
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--engine-swaps", type=int, default=12)
+    parser.add_argument("--benign-fraction", type=float, default=0.2)
+    parser.add_argument("--output", default="BENCH_sessions.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, no timing gate (CI runners are too noisy)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.sessions = min(args.sessions, 4_000)
+        args.engine_swaps = min(args.engine_swaps, 6)
+
+    result = run_benchmark(
+        n_sessions=args.sessions,
+        seed=args.seed,
+        engine_swaps=args.engine_swaps,
+        benign_fraction=args.benign_fraction,
+    )
+
+    single, stream = result["cells"]
+    parity = result["first_event_parity"]
+    swap = result["engine_swap"]
+    print(
+        f"single-shot: {single['events_per_s']:.0f} wires/s "
+        f"({single['requests']} requests)"
+    )
+    print(
+        f"session stream: {stream['events_per_s']:.0f} events/s "
+        f"({stream['requests']} events, {stream['revisions']} revisions, "
+        f"mean revision latency {stream['mean_revision_latency_ms']:.2f}ms)"
+    )
+    print(
+        f"throughput ratio: {result['throughput_ratio']:.2f}x "
+        f"(gate: >= {THROUGHPUT_GATE}x)"
+    )
+    print(
+        f"first-event parity: {parity['checked']} checked, "
+        f"{parity['mismatches']} mismatches"
+    )
+    print(
+        f"engine swaps: {swap['effective']} effective, single-shot missed "
+        f"{swap['single_shot_missed']}, session path caught "
+        f"{swap['session_caught']}"
+    )
+
+    write_bench_json(
+        args.output,
+        benchmark="session_stream",
+        config=result["config"],
+        cells=result["cells"],
+        extra={
+            "throughput_ratio": result["throughput_ratio"],
+            "first_event_parity": parity,
+            "engine_swap": swap,
+            "revision_reasons": result["revision_reasons"],
+        },
+    )
+    print(f"wrote {args.output}")
+
+    failures = []
+    if parity["checked"] == 0 or parity["mismatches"] != 0:
+        failures.append(
+            f"first-event parity broken "
+            f"({parity['mismatches']}/{parity['checked']} mismatched)"
+        )
+    if swap["effective"] == 0:
+        failures.append("no effective engine-swap streams generated")
+    if swap["single_shot_missed"] == 0:
+        failures.append(
+            "every engine swap was already visible to the single-shot "
+            "path (scenario construction broken)"
+        )
+    if swap["session_caught"] != swap["effective"]:
+        failures.append(
+            f"session path caught {swap['session_caught']}/"
+            f"{swap['effective']} engine swaps"
+        )
+    if not args.smoke and result["throughput_ratio"] < THROUGHPUT_GATE:
+        failures.append(
+            f"session throughput {result['throughput_ratio']:.2f}x below "
+            f"{THROUGHPUT_GATE}x gate"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

@@ -1,0 +1,69 @@
+"""Shared benchmark-result serialization.
+
+Every ``benchmarks/bench_*.py`` script that persists results writes the
+same JSON shape through :func:`write_bench_json`: the caller's
+``benchmark`` / ``config`` / ``cells`` stay top-level (CI smoke asserts
+key off them), and the writer stamps a schema version plus the git
+commit the numbers were measured at — without that, a directory of
+``BENCH_*.json`` files is a pile of unattributable numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["BENCH_SCHEMA_VERSION", "git_commit", "write_bench_json"]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_commit() -> Optional[str]:
+    """The current commit hash, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def write_bench_json(
+    path: Union[str, Path],
+    benchmark: str,
+    config: Dict,
+    cells: List[Dict],
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """Write one benchmark document; returns what was written.
+
+    ``cells`` is the measurement matrix — one dict per measured cell,
+    each carrying at least a ``cell`` name.  ``extra`` merges additional
+    top-level keys (derived summaries, pass/fail gates) after the
+    standard ones, so a benchmark can keep the keys its CI asserts on.
+    """
+    for cell in cells:
+        if "cell" not in cell:
+            raise ValueError("every bench cell needs a 'cell' name")
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_commit": git_commit(),
+        "benchmark": benchmark,
+        "config": config,
+        "cells": cells,
+    }
+    if extra:
+        document.update(extra)
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document

@@ -19,6 +19,8 @@ Subcommands:
   SIGTERM/SIGINT drain in-flight requests before exiting;
 * ``cluster``     — inspect a running cluster (``status`` pretty-prints
   the server's ``GET /cluster`` document);
+* ``sessions``    — inspect a server's event-stream session layer
+  (``status`` pretty-prints the ``GET /sessions`` document);
 * ``rollout``     — drive a staged model rollout against a registry:
   ``start`` a candidate into shadow, inspect ``status``, ``promote``
   one stage toward live, or ``abort``;
@@ -202,12 +204,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="latency budget in ms after which a request is hedged to "
         "the next same-version replica (default: no hedging)",
     )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        help="enable event-stream session scoring (POST /event, "
+        "GET /session/{id}) with this idle TTL in seconds "
+        "(single-process modes only)",
+    )
+    serve.add_argument(
+        "--session-max",
+        type=int,
+        default=100_000,
+        help="maximum concurrently tracked sessions (LRU beyond this)",
+    )
+    serve.add_argument(
+        "--session-log",
+        help="directory for the durable sliding-window event log "
+        "(default: in-memory state only)",
+    )
 
     cluster = sub.add_parser(
         "cluster", help="inspect a running sharded cluster"
     )
     cluster.add_argument("action", choices=["status"])
     cluster.add_argument(
+        "--url",
+        default="http://127.0.0.1:8040",
+        help="base URL of the serving endpoint",
+    )
+
+    sessions = sub.add_parser(
+        "sessions", help="inspect a server's event-stream session layer"
+    )
+    sessions.add_argument("action", choices=["status"])
+    sessions.add_argument(
         "--url",
         default="http://127.0.0.1:8040",
         help="base URL of the serving endpoint",
@@ -504,6 +535,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     managers = []
     if args.shards:
+        if args.session_ttl is not None:
+            print(
+                "serve: --session-ttl requires single-process mode "
+                "(session state is not shard-aware yet)",
+                file=sys.stderr,
+            )
+            return 2
         service, managers = _build_cluster(args, registry)
         mode = (
             f"cluster ({args.shards} {args.shard_backend} shards, "
@@ -526,12 +564,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"({state.status}, stage {state.stage_index})"
                 )
         mode = "runtime (micro-batched)" if args.runtime else "per-request"
-    app = CollectionApp(service)
+    sessions = None
+    if args.session_ttl is not None:
+        from repro.sessions import SessionEventLog, SessionScoringService
+
+        event_log = (
+            SessionEventLog(args.session_log) if args.session_log else None
+        )
+        sessions = SessionScoringService(
+            service,
+            event_log=event_log,
+            ttl_seconds=args.session_ttl,
+            max_sessions=args.session_max,
+        )
+        mode += f", session streams (ttl {args.session_ttl:g}s)"
+    app = CollectionApp(service, sessions=sessions)
     with make_server(args.host, args.port, app) as httpd:
+        endpoints = (
+            "POST /collect, GET /health, GET /metrics, GET /rollout, "
+            "GET /cluster"
+        )
+        if sessions is not None:
+            endpoints += ", POST /event, GET /session/{id}, GET /sessions"
         print(
             f"serving {mode} scoring on http://{args.host}:{args.port} "
-            f"(POST /collect, GET /health, GET /metrics, GET /rollout, "
-            f"GET /cluster)"
+            f"({endpoints})"
         )
         try:
             _serve_until_signalled(httpd)
@@ -585,6 +642,44 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"({router['hedge_wins_total']} wins), "
             f"{router['failovers_total']} failovers, "
             f"{router['unroutable_total']} unroutable"
+        )
+    return 0
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    import json as _json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    endpoint = args.url.rstrip("/") + "/sessions"
+    try:
+        with urlopen(endpoint, timeout=5.0) as response:
+            document = _json.load(response)
+    except HTTPError as exc:
+        if exc.code == 404:
+            print(f"{args.url} is serving without session streams")
+            return 1
+        print(f"sessions status: {endpoint} answered {exc.code}", file=sys.stderr)
+        return 2
+    except (URLError, OSError) as exc:
+        print(f"sessions status: cannot reach {endpoint}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{document['active_sessions']} active sessions "
+        f"(ttl {document['ttl_seconds']:g}s, cap {document['max_sessions']}), "
+        f"{document['events_total']} events, "
+        f"{document['revisions_total']} revisions "
+        f"({document['escalations_total']} escalations)"
+    )
+    for reason, count in sorted(document["revision_reasons"].items()):
+        if count:
+            print(f"  {reason:>14}: {count}")
+    log = document.get("event_log")
+    if log:
+        print(
+            f"event log: {log['segments']} segment(s), "
+            f"{log['sealed_events']} sealed + {log['buffered_events']} "
+            f"buffered events, {log['pruned_segments']} pruned"
         )
     return 0
 
@@ -707,6 +802,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
+        "sessions": _cmd_sessions,
         "rollout": _cmd_rollout,
         "bench-runtime": _cmd_bench_runtime,
     }

@@ -12,7 +12,12 @@ under any WSGI server (``wsgiref.simple_server`` works for demos):
   disagreement report), when the runtime has one attached;
 * ``GET  /cluster`` — shard topology and routing counters, when a
   :class:`~repro.cluster.router.ClusterRouter` is serving (404 with a
-  JSON body in single-process mode).
+  JSON body in single-process mode);
+* ``POST /event`` — one event-envelope payload; scored through the
+  session layer, responds with the per-event verdict plus the sticky
+  session verdict and any revision (404 when session streaming is off);
+* ``GET  /session/{id}`` — live state of one session;
+* ``GET  /sessions`` — session-layer aggregate status.
 
 The app never exposes more than the verdict: the cluster table and the
 model internals stay server-side, which matters because Algorithm 1's
@@ -47,10 +52,16 @@ class CollectionApp:
     high-throughput :class:`~repro.runtime.service.RuntimeScoringService`
     — both speak the same ``score_wire`` contract, and the runtime
     additionally contributes its metrics registry to ``/metrics``.
+
+    ``sessions`` optionally attaches a
+    :class:`~repro.sessions.service.SessionScoringService` wrapping the
+    same inner service; the event-stream endpoints 404 without it, and
+    its ``polygraph_session_*`` registry joins ``/metrics`` with it.
     """
 
-    def __init__(self, service: ScoringService) -> None:
+    def __init__(self, service: ScoringService, sessions=None) -> None:
         self.service = service
+        self.sessions = sessions
 
     # ------------------------------------------------------------------
 
@@ -69,6 +80,12 @@ class CollectionApp:
             return self._rollout(start_response)
         if method == "GET" and path == "/cluster":
             return self._cluster(start_response)
+        if method == "POST" and path == "/event":
+            return self._event(environ, start_response)
+        if method == "GET" and path == "/sessions":
+            return self._sessions(start_response)
+        if method == "GET" and path.startswith("/session/"):
+            return self._session(path[len("/session/"):], start_response)
         return self._respond(
             start_response, "404 Not Found", {"error": "unknown endpoint"}
         )
@@ -110,6 +127,55 @@ class CollectionApp:
                 )
             return self._respond(start_response, "400 Bad Request", document)
         return self._respond(start_response, "202 Accepted", document)
+
+    def _event(self, environ: dict, start_response: Callable) -> List[bytes]:
+        if self.sessions is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "session streaming not enabled"},
+            )
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        # The envelope adds ev/seq/ts on top of the wire payload; a
+        # fixed allowance covers them without loosening the core cap.
+        if length <= 0 or length > _MAX_BODY + 128:
+            return self._respond(
+                start_response, "400 Bad Request", {"error": "bad content length"}
+            )
+        body = environ["wsgi.input"].read(length)
+        observation = self.sessions.observe_wire(body)
+        document = observation.to_dict()
+        if not observation.verdict.accepted:
+            return self._respond(start_response, "400 Bad Request", document)
+        return self._respond(start_response, "202 Accepted", document)
+
+    def _sessions(self, start_response: Callable) -> List[bytes]:
+        if self.sessions is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "session streaming not enabled"},
+            )
+        return self._respond(start_response, "200 OK", self.sessions.status_dict())
+
+    def _session(self, session_id: str, start_response: Callable) -> List[bytes]:
+        if self.sessions is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "session streaming not enabled"},
+            )
+        snapshot = self.sessions.session_snapshot(session_id)
+        if snapshot is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "unknown or expired session", "session_id": session_id},
+            )
+        return self._respond(start_response, "200 OK", snapshot)
 
     def _health(self, start_response: Callable) -> List[bytes]:
         model = self.service.polygraph.cluster_model
@@ -163,6 +229,8 @@ class CollectionApp:
         runtime_lines = getattr(self.service, "runtime_metrics_lines", None)
         if runtime_lines is not None:
             lines.extend(runtime_lines())
+        if self.sessions is not None:
+            lines.extend(self.sessions.metrics_lines())
         body = ("\n".join(lines) + "\n").encode("utf-8")
         start_response(
             "200 OK",

@@ -19,7 +19,7 @@ import json
 import os
 import zipfile
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +36,11 @@ __all__ = [
 # Column name -> whether it is eligible for memory-mapping (fixed-width
 # dtypes only; everything NumPy writes is fixed-width, so all are).
 COLUMNS = ("sid", "ua", "ua_key", "f", "day", "g")
+
+# The segment mechanics below (atomic write, header-only counting,
+# mmap reads) are column-set agnostic: callers with a different schema
+# — the session event log stores per-event rows — pass their own
+# ``column_set``; the session store keeps the historical default.
 
 
 def records_to_columns(records: List[dict]) -> Dict[str, np.ndarray]:
@@ -84,10 +89,14 @@ def columns_to_records(columns: Dict[str, np.ndarray]) -> List[dict]:
     return records
 
 
-def write_segment(path: Union[str, Path], columns: Dict[str, np.ndarray]) -> int:
+def write_segment(
+    path: Union[str, Path],
+    columns: Dict[str, np.ndarray],
+    column_set: Sequence[str] = COLUMNS,
+) -> int:
     """Atomically write a columnar segment; returns its byte size."""
     path = Path(path)
-    missing = [name for name in COLUMNS if name not in columns]
+    missing = [name for name in column_set if name not in columns]
     if missing:
         raise ValueError(f"columnar segment missing columns: {missing}")
     tmp = path.with_name(path.name + ".tmp")
@@ -95,7 +104,7 @@ def write_segment(path: Union[str, Path], columns: Dict[str, np.ndarray]) -> int
         with tmp.open("wb") as handle:
             # np.savez (uncompressed) keeps every member ZIP_STORED,
             # which is what makes the mmap read path possible.
-            np.savez(handle, **{name: columns[name] for name in COLUMNS})
+            np.savez(handle, **{name: columns[name] for name in column_set})
         os.replace(tmp, path)
     finally:
         if tmp.exists():
@@ -103,17 +112,21 @@ def write_segment(path: Union[str, Path], columns: Dict[str, np.ndarray]) -> int
     return path.stat().st_size
 
 
-def segment_records(path: Union[str, Path]) -> int:
+def segment_records(
+    path: Union[str, Path], count_column: str = "sid"
+) -> int:
     """Record count of a columnar segment, reading only one npy header."""
     with zipfile.ZipFile(path, "r") as archive:
-        with archive.open("sid.npy") as member:
+        with archive.open(f"{count_column}.npy") as member:
             version = np.lib.format.read_magic(member)
             shape, _, _ = _read_header(member, version)
     return int(shape[0])
 
 
 def read_segment(
-    path: Union[str, Path], mmap: bool = True
+    path: Union[str, Path],
+    mmap: bool = True,
+    column_set: Sequence[str] = COLUMNS,
 ) -> Dict[str, np.ndarray]:
     """Load a columnar segment, memory-mapping columns when possible.
 
@@ -129,7 +142,7 @@ def read_segment(
     if mmap:
         try:
             with zipfile.ZipFile(path, "r") as archive:
-                for name in COLUMNS:
+                for name in column_set:
                     member = f"{name}.npy"
                     info = archive.getinfo(member)
                     array = _mmap_member(path, archive, info)
@@ -138,9 +151,9 @@ def read_segment(
                     else:
                         columns[name] = array
         except (OSError, KeyError, ValueError, zipfile.BadZipFile):
-            columns, pending = {}, list(COLUMNS)
+            columns, pending = {}, list(column_set)
     else:
-        pending = list(COLUMNS)
+        pending = list(column_set)
     if pending:
         with np.load(path, allow_pickle=False) as archive:
             for name in pending:

@@ -1,0 +1,124 @@
+"""Verdict revision: reconciling a new event with a session's verdict.
+
+A session's verdict is *sticky*: once flagged, it stays flagged, and
+its risk factor only ratchets up.  A new event can therefore change the
+session verdict in exactly one direction — escalation — and every such
+change is recorded as a :class:`VerdictRevision` naming the triggering
+event and the reason the reconciliation fired.
+
+``FLAG_CLEARED`` is deliberately informational: a later clean vector
+does **not** un-flag a session (an attacker could always replay the
+clean spoof after the engine leaked), but analysts want to see the
+pattern, so the revision stream reports it without touching the sticky
+verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core.detection import DetectionResult
+
+__all__ = ["RevisionReason", "VerdictRevision", "classify_revision"]
+
+
+class RevisionReason(str, Enum):
+    """Why a session's verdict was revised (or a change was observed)."""
+
+    FLAG_RAISED = "flag_raised"  # clean session, new event flagged
+    RISK_INCREASE = "risk_increase"  # already flagged, risk factor rose
+    CLUSTER_FLIP = "cluster_flip"  # fingerprint moved clusters mid-session
+    UA_CHANGE = "ua_change"  # claimed user-agent changed mid-session
+    FLAG_CLEARED = "flag_cleared"  # informational; verdict stays flagged
+
+
+# Reasons that escalate the sticky session verdict (vs. informational).
+ESCALATING_REASONS = frozenset(
+    {
+        RevisionReason.FLAG_RAISED,
+        RevisionReason.RISK_INCREASE,
+        RevisionReason.CLUSTER_FLIP,
+        RevisionReason.UA_CHANGE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class VerdictRevision:
+    """One change to (or observation about) a session's verdict."""
+
+    session_id: str
+    seq: int  # seq of the triggering event
+    event_type: str
+    reason: RevisionReason
+    old_flagged: bool
+    new_flagged: bool
+    old_risk: Optional[int]
+    new_risk: Optional[int]
+    detail: str = ""
+
+    @property
+    def escalating(self) -> bool:
+        """Whether this revision raised the sticky session verdict."""
+        return self.reason in ESCALATING_REASONS
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (API and event-log payloads)."""
+        return {
+            "session_id": self.session_id,
+            "seq": self.seq,
+            "event_type": self.event_type,
+            "reason": self.reason.value,
+            "old_flagged": self.old_flagged,
+            "new_flagged": self.new_flagged,
+            "old_risk": self.old_risk,
+            "new_risk": self.new_risk,
+            "detail": self.detail,
+        }
+
+
+def classify_revision(
+    prior_flagged: bool,
+    prior_risk: Optional[int],
+    prior_cluster: Optional[int],
+    prior_ua_key: Optional[str],
+    event_flagged: bool,
+    event_risk: Optional[int],
+    result: Optional[DetectionResult],
+    event_ua_key: Optional[str],
+) -> Optional[RevisionReason]:
+    """Decide whether (and why) an event revises the session verdict.
+
+    Pure function of the prior session summary and the new event's
+    scoring outcome; precedence is most-specific first — a cluster flip
+    explains more than the flag it usually causes, and a mid-session
+    user-agent change outranks a bare risk increase.  Returns ``None``
+    when the event is consistent with the standing verdict.
+    """
+    cluster = result.predicted_cluster if result is not None else None
+    if (
+        prior_cluster is not None
+        and cluster is not None
+        and cluster != prior_cluster
+    ):
+        return RevisionReason.CLUSTER_FLIP
+    if (
+        prior_ua_key is not None
+        and event_ua_key is not None
+        and event_ua_key != prior_ua_key
+    ):
+        return RevisionReason.UA_CHANGE
+    if event_flagged and not prior_flagged:
+        return RevisionReason.FLAG_RAISED
+    if event_flagged and prior_flagged:
+        if (
+            event_risk is not None
+            and (prior_risk is None or event_risk > prior_risk)
+        ):
+            return RevisionReason.RISK_INCREASE
+        return None
+    if prior_flagged and not event_flagged:
+        return RevisionReason.FLAG_CLEARED
+    return None

@@ -1,0 +1,405 @@
+"""Session-stream scoring: per-event verdicts with mid-session revision.
+
+:class:`SessionScoringService` wraps either scoring service
+(per-request :class:`~repro.service.scoring.ScoringService` or the
+micro-batched :class:`~repro.runtime.service.RuntimeScoringService`)
+and adds session state on top.  The contract that keeps it honest:
+
+* **First-event parity.**  The first event of a session is scored by
+  forwarding its *exact* single-vector wire bytes through the inner
+  service — the same ingest, the same cache, the same model call — so
+  its verdict is bit-identical to today's one-shot path.
+* **Follow-up events bypass the dedup window, not validation.**  The
+  inner dedup window exists to reject replayed session ids; a second
+  *event* of a live session is not a replay.  Follow-ups are scored
+  under a derived id (``sid@seq``, hashed if over the length cap),
+  which the verdict cache ignores entirely — its keys are
+  ``(values, ua_key)`` — so repeat fingerprints stay cache-hits.
+* **Sticky verdicts.**  A session once flagged stays flagged and its
+  risk factor only ratchets up; clean follow-ups are reported as
+  informational ``flag_cleared`` revisions without lowering anything.
+
+Cluster-flip detection needs the *predicted cluster*, which the inner
+services' :class:`Verdict` deliberately omits.  A small LRU memo maps
+``(values, user_agent)`` to the pipeline's full
+:class:`DetectionResult`; coarse fingerprints are low-cardinality, so
+in steady state this costs one extra model call per distinct surface,
+not per event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.detection import DetectionResult
+from repro.service.ingest import MAX_SESSION_ID_LENGTH
+from repro.service.scoring import Verdict
+from repro.sessions.revision import (
+    RevisionReason,
+    VerdictRevision,
+    classify_revision,
+)
+from repro.sessions.store import SessionEventLog
+from repro.sessions.tracker import EventRecord, SessionState, SessionTracker
+from repro.traffic.events import EventType, SessionEvent
+
+__all__ = ["SessionObservation", "SessionScoringService"]
+
+_DETECT_MEMO_LIMIT = 8192
+
+
+@dataclass(frozen=True)
+class SessionObservation:
+    """What the session layer says about one observed event."""
+
+    verdict: Verdict  # the per-event verdict (first event: bit-identical)
+    session_flagged: bool  # sticky session verdict after this event
+    session_risk: Optional[int]
+    revision: Optional[VerdictRevision]
+    event_seq: int
+    session_created: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.verdict.session_id,
+            "accepted": self.verdict.accepted,
+            "event_flagged": self.verdict.flagged,
+            "event_risk": self.verdict.risk_factor,
+            "reject_reason": self.verdict.reject_reason,
+            "session_flagged": self.session_flagged,
+            "session_risk": self.session_risk,
+            "revision": None if self.revision is None else self.revision.to_dict(),
+            "event_seq": self.event_seq,
+            "session_created": self.session_created,
+        }
+
+
+def _derived_session_id(session_id: str, seq: int) -> str:
+    """The inner-service id for a follow-up event.
+
+    ``sid@seq`` keeps derived ids readable in quarantine logs; when the
+    suffix would blow the wire contract's length cap the id collapses
+    to a fixed-width blake2b digest instead (still unique per
+    ``(sid, seq)``, still under the cap).
+    """
+    derived = f"{session_id}@{seq}"
+    if len(derived) <= MAX_SESSION_ID_LENGTH:
+        return derived
+    digest = hashlib.blake2b(
+        derived.encode("utf-8"), digest_size=24
+    ).hexdigest()
+    return f"ev-{digest}"
+
+
+class SessionScoringService:
+    """Stateful, revisable scoring over an inner one-shot service.
+
+    Parameters
+    ----------
+    inner:
+        A started :class:`ScoringService` or
+        :class:`RuntimeScoringService`; all single-vector scoring goes
+        through it unchanged.
+    tracker:
+        Session state bounds; a default tracker is created if omitted
+        (``ttl_seconds`` then applies to it).
+    event_log:
+        Optional :class:`SessionEventLog` for durable per-event rows.
+    """
+
+    def __init__(
+        self,
+        inner,
+        tracker: Optional[SessionTracker] = None,
+        event_log: Optional[SessionEventLog] = None,
+        ttl_seconds: float = 1800.0,
+        max_sessions: int = 100_000,
+    ) -> None:
+        self.inner = inner
+        self._virtual_now = 0.0
+        if tracker is None:
+            tracker = SessionTracker(
+                max_sessions=max_sessions,
+                ttl_seconds=ttl_seconds,
+                clock=self._clock,
+            )
+        self.tracker = tracker
+        self.event_log = event_log
+        self._lock = threading.Lock()
+        self._detect_memo: Dict[tuple, Optional[DetectionResult]] = {}
+        # Counters for /metrics.
+        self.events_total = 0
+        self.revisions_total = 0
+        self.escalations_total = 0
+        self.revision_reasons: Dict[str, int] = {
+            reason.value: 0 for reason in RevisionReason
+        }
+
+    # ------------------------------------------------------------------
+    # clock
+
+    def _clock(self) -> float:
+        """Event-time clock for the default tracker.
+
+        Tracking TTLs in *event* time (the max timestamp observed) keeps
+        eviction deterministic under replay: a benchmark replaying a day
+        of traffic in two seconds still ages sessions by their own
+        clock, not the host's.
+        """
+        return self._virtual_now
+
+    # ------------------------------------------------------------------
+    # scoring
+
+    def observe_wire(self, wire: bytes, day: Optional[date] = None) -> SessionObservation:
+        """Score one event-envelope payload (``POST /event`` body)."""
+        try:
+            event = SessionEvent.from_wire(wire)
+        except ValueError as exc:
+            verdict = Verdict(
+                session_id="",
+                accepted=False,
+                flagged=False,
+                risk_factor=None,
+                reject_reason=f"malformed_event: {str(exc)[:80]}",
+                latency_ms=0.0,
+            )
+            return SessionObservation(
+                verdict=verdict,
+                session_flagged=False,
+                session_risk=None,
+                revision=None,
+                event_seq=-1,
+                session_created=False,
+            )
+        return self.observe_event(event, day=day)
+
+    def observe_event(
+        self, event: SessionEvent, day: Optional[date] = None
+    ) -> SessionObservation:
+        """Score one event and reconcile it with the session verdict."""
+        with self._lock:
+            if event.timestamp > self._virtual_now:
+                self._virtual_now = event.timestamp
+
+        if event.seq == 0:
+            # Parity path: the untouched single-vector bytes.
+            inner_wire = event.core_wire()
+        else:
+            derived = _derived_session_id(event.session_id, event.seq)
+            inner_wire = SessionEvent(
+                session_id=derived,
+                event_type=event.event_type,
+                seq=event.seq,
+                timestamp=event.timestamp,
+                user_agent=event.user_agent,
+                values=event.values,
+                suspicious_globals=event.suspicious_globals,
+            ).core_wire()
+        verdict = self.inner.score_wire(inner_wire, day=day)
+        if not verdict.accepted:
+            return SessionObservation(
+                verdict=verdict,
+                session_flagged=False,
+                session_risk=None,
+                revision=None,
+                event_seq=event.seq,
+                session_created=False,
+            )
+        # Report under the real session id, whatever id scored inside.
+        if verdict.session_id != event.session_id:
+            verdict = Verdict(
+                session_id=event.session_id,
+                accepted=verdict.accepted,
+                flagged=verdict.flagged,
+                risk_factor=verdict.risk_factor,
+                reject_reason=verdict.reject_reason,
+                latency_ms=verdict.latency_ms,
+            )
+
+        result = self._detect(event.values, event.user_agent)
+        ua_key = result.ua_key if result is not None else None
+
+        state, created = self.tracker.get_or_create(event.session_id)
+        with self._lock:
+            self.events_total += 1
+            revision = self._reconcile_locked(state, event, verdict, result, ua_key)
+            record = EventRecord(
+                seq=event.seq,
+                event_type=event.event_type.value,
+                timestamp=event.timestamp,
+                flagged=verdict.flagged,
+                risk_factor=verdict.risk_factor,
+                predicted_cluster=(
+                    result.predicted_cluster if result is not None else None
+                ),
+                ua_key=ua_key,
+            )
+            state.record_event(
+                record, tuple(event.values), self.tracker.max_events_per_session
+            )
+            session_flagged = state.flagged
+            session_risk = state.risk_factor
+        if self.event_log is not None:
+            self.event_log.append(
+                session_id=event.session_id,
+                event_type=event.event_type.value,
+                seq=event.seq,
+                timestamp=event.timestamp,
+                ua_key=ua_key if ua_key is not None else "",
+                values=event.values,
+                flagged=verdict.flagged,
+                risk=verdict.risk_factor,
+            )
+        return SessionObservation(
+            verdict=verdict,
+            session_flagged=session_flagged,
+            session_risk=session_risk,
+            revision=revision,
+            event_seq=event.seq,
+            session_created=created,
+        )
+
+    def _reconcile_locked(
+        self,
+        state: SessionState,
+        event: SessionEvent,
+        verdict: Verdict,
+        result: Optional[DetectionResult],
+        ua_key: Optional[str],
+    ) -> Optional[VerdictRevision]:
+        """Fold an event verdict into the sticky session verdict."""
+        if state.event_count == 0:
+            # First event: the session verdict *is* the event verdict.
+            state.flagged = verdict.flagged
+            state.risk_factor = verdict.risk_factor
+            return None
+        reason = classify_revision(
+            prior_flagged=state.flagged,
+            prior_risk=state.risk_factor,
+            prior_cluster=state.last_cluster,
+            prior_ua_key=state.last_ua_key,
+            event_flagged=verdict.flagged,
+            event_risk=verdict.risk_factor,
+            result=result,
+            event_ua_key=ua_key,
+        )
+        if reason is None:
+            return None
+        old_flagged, old_risk = state.flagged, state.risk_factor
+        revision = None
+        if reason in (
+            RevisionReason.CLUSTER_FLIP,
+            RevisionReason.UA_CHANGE,
+            RevisionReason.FLAG_RAISED,
+            RevisionReason.RISK_INCREASE,
+        ):
+            # Escalate: flag sticks, risk ratchets.  A surface change
+            # mid-session is suspicious even when both vectors are
+            # individually clean, so cluster flips / UA changes flag the
+            # session regardless of the event's own verdict.
+            state.flagged = True
+            candidates = [r for r in (old_risk, verdict.risk_factor) if r is not None]
+            state.risk_factor = max(candidates) if candidates else old_risk
+        detail = ""
+        if reason is RevisionReason.CLUSTER_FLIP and result is not None:
+            detail = (
+                f"cluster {state.last_cluster} -> {result.predicted_cluster}"
+            )
+        elif reason is RevisionReason.UA_CHANGE:
+            detail = f"ua_key {state.last_ua_key} -> {ua_key}"
+        revision = VerdictRevision(
+            session_id=event.session_id,
+            seq=event.seq,
+            event_type=event.event_type.value,
+            reason=reason,
+            old_flagged=old_flagged,
+            new_flagged=state.flagged,
+            old_risk=old_risk,
+            new_risk=state.risk_factor,
+            detail=detail,
+        )
+        state.revision_count += 1
+        self.revisions_total += 1
+        self.revision_reasons[reason.value] += 1
+        if revision.escalating:
+            state.escalation_count += 1
+            self.escalations_total += 1
+        return revision
+
+    def _detect(self, values: Tuple[int, ...], user_agent: str):
+        """Memoized full detection result for cluster-flip tracking."""
+        key = (values, user_agent)
+        memo = self._detect_memo
+        if key in memo:
+            return memo[key]
+        try:
+            result = self.inner.polygraph.detect_session(list(values), user_agent)
+        except Exception:
+            result = None
+        with self._lock:
+            if len(memo) >= _DETECT_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def session_snapshot(self, session_id: str) -> Optional[dict]:
+        """The live state of one session (``GET /session/{id}``)."""
+        state = self.tracker.peek(session_id)
+        if state is None:
+            return None
+        with self._lock:
+            return state.to_dict()
+
+    def status_dict(self) -> dict:
+        """Aggregate status (``GET /sessions`` and the CLI)."""
+        tracker_stats = self.tracker.stats()
+        with self._lock:
+            status = {
+                "active_sessions": tracker_stats["active_sessions"],
+                "ttl_seconds": self.tracker.ttl_seconds,
+                "max_sessions": self.tracker.max_sessions,
+                "events_total": self.events_total,
+                "revisions_total": self.revisions_total,
+                "escalations_total": self.escalations_total,
+                "revision_reasons": dict(self.revision_reasons),
+                "evicted_ttl": tracker_stats["evicted_ttl"],
+                "evicted_capacity": tracker_stats["evicted_capacity"],
+            }
+        if self.event_log is not None:
+            status["event_log"] = self.event_log.stats()
+        return status
+
+    def metrics_lines(self) -> List[str]:
+        """Prometheus-style ``polygraph_session_*`` lines."""
+        tracker_stats = self.tracker.stats()
+        with self._lock:
+            lines = [
+                "# TYPE polygraph_session_active gauge",
+                f"polygraph_session_active {tracker_stats['active_sessions']}",
+                "# TYPE polygraph_session_events_total counter",
+                f"polygraph_session_events_total {self.events_total}",
+                "# TYPE polygraph_session_revisions_total counter",
+                f"polygraph_session_revisions_total {self.revisions_total}",
+                "# TYPE polygraph_session_escalations_total counter",
+                f"polygraph_session_escalations_total {self.escalations_total}",
+                "# TYPE polygraph_session_evictions_total counter",
+                "polygraph_session_evictions_total"
+                f"{{kind=\"ttl\"}} {tracker_stats['evicted_ttl']}",
+                "polygraph_session_evictions_total"
+                f"{{kind=\"capacity\"}} {tracker_stats['evicted_capacity']}",
+            ]
+            lines.append("# TYPE polygraph_session_revision_reason_total counter")
+            for reason, count in sorted(self.revision_reasons.items()):
+                lines.append(
+                    "polygraph_session_revision_reason_total"
+                    f"{{reason=\"{reason}\"}} {count}"
+                )
+        return lines

@@ -39,6 +39,10 @@ class Dataset:
         FinOrg tag columns.
     truth_kind, truth_browser, truth_category, truth_perturbation:
         Ground truth (scoring only).
+    timestamps:
+        Optional absolute epoch-second instants (float64) of each
+        session's first collection; ``None`` for datasets produced
+        before the event-stream layer existed.
     """
 
     features: np.ndarray
@@ -54,6 +58,7 @@ class Dataset:
     truth_category: np.ndarray
     truth_perturbation: np.ndarray
     feature_names: List[str] = field(default_factory=list)
+    timestamps: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n = self.features.shape[0]
@@ -66,6 +71,8 @@ class Dataset:
         for column in columns:
             if column.shape[0] != n:
                 raise ValueError("dataset columns are misaligned")
+        if self.timestamps is not None and self.timestamps.shape[0] != n:
+            raise ValueError("dataset columns are misaligned")
 
     # ------------------------------------------------------------------
     # views
@@ -105,6 +112,9 @@ class Dataset:
             truth_category=self.truth_category[sl],
             truth_perturbation=self.truth_perturbation[sl],
             feature_names=list(self.feature_names),
+            timestamps=(
+                None if self.timestamps is None else self.timestamps[sl]
+            ),
         )
 
     def subset(self, mask: np.ndarray) -> "Dataset":
@@ -123,6 +133,9 @@ class Dataset:
             truth_category=self.truth_category[mask],
             truth_perturbation=self.truth_perturbation[mask],
             feature_names=list(self.feature_names),
+            timestamps=(
+                None if self.timestamps is None else self.timestamps[mask]
+            ),
         )
 
     def is_fraud(self) -> np.ndarray:
@@ -168,6 +181,9 @@ class Dataset:
             untrusted_cookie=bool(self.untrusted_cookie[idx]),
             ato=bool(self.ato[idx]),
             truth=truth,
+            timestamp=(
+                0.0 if self.timestamps is None else float(self.timestamps[idx])
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -187,6 +203,9 @@ class Dataset:
             # from one memory-mapped columnar segment) passes through
             # without touching any column bytes.
             return parts[0]
+        timestamps = None
+        if all(p.timestamps is not None for p in parts):
+            timestamps = np.concatenate([p.timestamps for p in parts])
         return cls(
             features=np.concatenate([p.features for p in parts]),
             ua_keys=np.concatenate([p.ua_keys for p in parts]),
@@ -201,12 +220,12 @@ class Dataset:
             truth_category=np.concatenate([p.truth_category for p in parts]),
             truth_perturbation=np.concatenate([p.truth_perturbation for p in parts]),
             feature_names=list(names),
+            timestamps=timestamps,
         )
 
     def save(self, path: str) -> None:
         """Persist to a ``.npz`` archive."""
-        np.savez_compressed(
-            path,
+        columns = dict(
             features=self.features,
             ua_keys=self.ua_keys.astype("U"),
             user_agents=self.user_agents.astype("U"),
@@ -221,6 +240,9 @@ class Dataset:
             truth_perturbation=self.truth_perturbation.astype("U"),
             feature_names=np.array(self.feature_names, dtype="U"),
         )
+        if self.timestamps is not None:
+            columns["timestamps"] = self.timestamps.astype(np.float64)
+        np.savez_compressed(path, **columns)
 
     @classmethod
     def load(cls, path: str) -> "Dataset":
@@ -240,4 +262,9 @@ class Dataset:
                 truth_category=archive["truth_category"],
                 truth_perturbation=archive["truth_perturbation"].astype(object),
                 feature_names=[str(n) for n in archive["feature_names"]],
+                timestamps=(
+                    archive["timestamps"]
+                    if "timestamps" in archive.files
+                    else None
+                ),
             )

@@ -385,6 +385,15 @@ class TrafficSimulator:
         days = np.array([row["day"] for row in rows], dtype="datetime64[D]")
         personas = tuple(row["persona"] for row in rows)
         ip, cookie, ato = self.tag_model.sample_many(personas, rng)
+        # Per-session collection instants: a uniform second-of-day offset
+        # on top of each row's epoch day.  Drawn *after* the tag model so
+        # every pre-timestamp column keeps its historical byte-exact
+        # values for a given seed.  The event-stream layer derives its
+        # monotonic per-event clocks from these anchors.
+        epoch_seconds = days.astype("datetime64[s]").astype(np.int64)
+        timestamps = epoch_seconds.astype(np.float64) + rng.uniform(
+            0.0, 86_400.0, size=n
+        )
         return Dataset(
             features=features,
             ua_keys=ua_keys,
@@ -403,6 +412,7 @@ class TrafficSimulator:
                 [row["perturbation"] for row in rows], dtype=object
             ),
             feature_names=[spec.name for spec in self.specs],
+            timestamps=timestamps,
         )
 
 

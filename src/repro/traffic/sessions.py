@@ -54,7 +54,15 @@ class GroundTruth:
 
 @dataclass(frozen=True)
 class Session:
-    """One observed session, as the pipeline sees it."""
+    """One observed session, as the pipeline sees it.
+
+    ``timestamp`` is the absolute epoch-second instant of the session's
+    *first* fingerprint collection.  ``day`` remains the coarse calendar
+    grain the paper's training windows use; the timestamp is what the
+    event-stream layer (:mod:`repro.traffic.events`) anchors per-event
+    monotonic clocks to.  It defaults to ``0.0`` so constructors that
+    predate it are unaffected.
+    """
 
     session_id: str
     day: date
@@ -64,6 +72,7 @@ class Session:
     untrusted_cookie: bool
     ato: bool
     truth: Optional[GroundTruth] = None
+    timestamp: float = 0.0
 
     def vector(self) -> np.ndarray:
         """Feature values as an int vector."""

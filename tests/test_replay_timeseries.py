@@ -1,0 +1,140 @@
+"""Replay ordering guarantees and timeseries day-boundary edges."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.traffic.replay import iter_payloads, iter_wire_payloads
+from repro.traffic.timeseries import adoption_curve, daily_flag_rate, daily_volume
+
+
+# ----------------------------------------------------------------------
+# replay: ordering and limit guarantees
+
+
+class TestReplayOrdering:
+    def test_payloads_preserve_dataset_row_order(self, small_dataset):
+        subset = small_dataset.rows(0, 200)
+        payloads = list(iter_payloads(subset))
+        assert [p.session_id for p in payloads] == [
+            str(sid) for sid in subset.session_ids
+        ]
+        for idx, payload in enumerate(payloads):
+            assert payload.values == tuple(
+                int(v) for v in subset.features[idx]
+            )
+            assert payload.user_agent == str(subset.user_agents[idx])
+
+    def test_limit_truncates_without_reordering(self, small_dataset):
+        full = [p.session_id for p in iter_payloads(small_dataset, limit=50)]
+        prefix = [p.session_id for p in iter_payloads(small_dataset, limit=20)]
+        assert full[:20] == prefix
+
+    def test_limit_larger_than_dataset_is_safe(self, small_dataset):
+        subset = small_dataset.rows(0, 10)
+        assert len(list(iter_payloads(subset, limit=10_000))) == 10
+
+    def test_limit_zero_yields_nothing(self, small_dataset):
+        assert list(iter_payloads(small_dataset, limit=0)) == []
+
+    def test_wire_payloads_align_with_payloads(self, small_dataset):
+        subset = small_dataset.rows(0, 50)
+        wires = list(iter_wire_payloads(subset))
+        payloads = list(iter_payloads(subset))
+        assert len(wires) == len(payloads)
+        for wire, payload in zip(wires, payloads):
+            body = json.loads(wire)
+            assert body["sid"] == payload.session_id
+            assert tuple(body["f"]) == payload.values
+
+    def test_replay_is_deterministic(self, small_dataset):
+        subset = small_dataset.rows(0, 100)
+        assert list(iter_wire_payloads(subset)) == list(
+            iter_wire_payloads(subset)
+        )
+
+
+# ----------------------------------------------------------------------
+# timeseries: day-boundary edge cases
+
+
+def _single_day_dataset(small_dataset):
+    days = small_dataset.days.astype("datetime64[D]")
+    first_day = np.unique(days)[0]
+    return small_dataset.subset(days == first_day), str(first_day)
+
+
+class TestTimeseriesDayBoundaries:
+    def test_daily_volume_covers_every_session_once(self, small_dataset):
+        volume = daily_volume(small_dataset)
+        assert sum(count for _, count in volume) == len(small_dataset)
+        days = [day for day, _ in volume]
+        assert days == sorted(days)
+        assert len(set(days)) == len(days)
+
+    def test_single_day_dataset(self, small_dataset):
+        subset, day = _single_day_dataset(small_dataset)
+        volume = daily_volume(subset)
+        assert volume == [(day, len(subset))]
+
+    def test_daily_flag_rate_requires_matching_report(
+        self, small_dataset, trained
+    ):
+        subset = small_dataset.rows(0, 500)
+        report = trained.detect(subset)
+        with pytest.raises(ValueError):
+            daily_flag_rate(small_dataset, report)
+
+    def test_daily_flag_rate_boundaries(self, small_dataset, trained):
+        subset, _ = _single_day_dataset(small_dataset)
+        report = trained.detect(subset)
+        rates = daily_flag_rate(subset, report)
+        assert len(rates) == 1
+        day, rate, total = rates[0]
+        assert total == len(subset)
+        assert rate == pytest.approx(report.n_flagged / len(subset))
+        assert 0.0 <= rate <= 1.0
+
+    def test_adoption_curve_starts_at_first_seen(self, small_dataset):
+        ua_key = str(small_dataset.ua_keys[0])
+        curve = adoption_curve(small_dataset, ua_key)
+        days = small_dataset.days.astype("datetime64[D]")
+        matches = small_dataset.ua_keys == ua_key
+        first_seen = str(days[matches].min())
+        assert curve[0][0] == first_seen
+        # No day before first_seen appears; shares are valid fractions.
+        for day, share in curve:
+            assert day >= first_seen
+            assert 0.0 <= share <= 1.0
+
+    def test_adoption_curve_window_is_exclusive_at_boundary(
+        self, small_dataset
+    ):
+        ua_key = str(small_dataset.ua_keys[0])
+        full = adoption_curve(small_dataset, ua_key)
+        if len(full) < 2:
+            pytest.skip("release active on a single day in this window")
+        days = small_dataset.days.astype("datetime64[D]")
+        matches = small_dataset.ua_keys == ua_key
+        first_seen = days[matches].min()
+        window = 1 + (
+            np.datetime64(full[-1][0]) - first_seen
+        ).astype(int)
+        # window_days = N keeps days strictly within N days of launch:
+        # the day at exactly +N is excluded (the ">= window_days" break).
+        trimmed = adoption_curve(small_dataset, ua_key, window_days=int(window) - 1)
+        assert trimmed == full[:-1] or len(trimmed) < len(full)
+        all_days = adoption_curve(small_dataset, ua_key, window_days=int(window))
+        assert all_days == full
+
+    def test_adoption_curve_unknown_release_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            adoption_curve(small_dataset, "netscape-4")
+
+    def test_adoption_curve_single_day_window(self, small_dataset):
+        ua_key = str(small_dataset.ua_keys[0])
+        curve = adoption_curve(small_dataset, ua_key, window_days=1)
+        assert len(curve) == 1  # only the launch day itself
