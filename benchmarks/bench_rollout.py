@@ -11,7 +11,8 @@ deployment claims of the rollout subsystem:
 * an identical candidate produces **zero** disagreements (the report is
   a faithful comparator, not a noise source).
 
-Also runnable directly for a quick smoke pass (CI uses this mode)::
+Also runnable directly for a quick smoke pass (CI uses this mode);
+results are persisted through the shared ``BENCH_*.json`` writer::
 
     PYTHONPATH=src python benchmarks/bench_rollout.py --sessions 1500
 """
@@ -22,6 +23,9 @@ import sys
 import time
 from dataclasses import dataclass
 from datetime import date
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 REPLAY = int(os.environ.get("REPRO_ROLLOUT_REPLAY", "12000"))
 
@@ -155,6 +159,38 @@ def test_shadow_overhead(benchmark):
     )
 
 
+def _write_report(report, output, args) -> None:
+    from repro.analysis.benchio import write_bench_json
+
+    write_bench_json(
+        output,
+        benchmark="rollout_overhead",
+        config={
+            "n_sessions": args.sessions,
+            "seed": args.seed,
+            "shadow_sample_rate": args.shadow_sample,
+        },
+        cells=[
+            {
+                "cell": "bare",
+                "sessions": report.sessions,
+                "sessions_per_s": round(report.bare_rate, 1),
+            },
+            {
+                "cell": "shadow",
+                "sessions": report.sessions,
+                "sessions_per_s": round(report.shadow_rate, 1),
+                "comparisons": report.comparisons,
+                "shed": report.shed,
+            },
+        ],
+        extra={
+            "slowdown": round(report.slowdown, 3),
+            "disagreement_rate": report.disagreement_rate,
+        },
+    )
+
+
 def _main(argv):
     import argparse
 
@@ -164,11 +200,14 @@ def _main(argv):
     parser.add_argument("--sessions", type=int, default=REPLAY)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--shadow-sample", type=float, default=0.5)
+    parser.add_argument("--output", default="BENCH_rollout.json")
     args = parser.parse_args(argv)
     report = run_rollout_overhead_benchmark(
         args.sessions, seed=args.seed, shadow_sample_rate=args.shadow_sample
     )
     print(report.render())
+    _write_report(report, args.output, args)
+    print(f"wrote {args.output}")
     if report.disagreement_rate != 0.0:
         print("FAIL: identical candidate produced disagreements")
         return 1

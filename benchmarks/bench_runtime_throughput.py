@@ -10,13 +10,17 @@ batched+cached runtime, asserting the deployment claims:
   paper's low-cardinality fingerprint argument, Section 7);
 * the batched+cached runtime clears >=5x the baseline's sessions/sec.
 
-Also runnable directly for a quick smoke pass (CI uses this mode)::
+Also runnable directly for a quick smoke pass (CI uses this mode);
+results are persisted through the shared ``BENCH_*.json`` writer::
 
     PYTHONPATH=src python benchmarks/bench_runtime_throughput.py --sessions 2000
 """
 
 import os
 import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 REPLAY = int(os.environ.get("REPRO_RUNTIME_REPLAY", "12000"))
 
@@ -42,6 +46,39 @@ def test_runtime_throughput(benchmark):
         )
 
 
+def _write_report(report, output, args) -> None:
+    from repro.analysis.benchio import write_bench_json
+
+    write_bench_json(
+        output,
+        benchmark="runtime_throughput",
+        config={
+            "n_sessions": args.sessions,
+            "seed": args.seed,
+            "concurrency": args.concurrency,
+        },
+        cells=[
+            {
+                "cell": mode.mode,
+                "sessions": mode.n_sessions,
+                "wall_s": round(mode.wall_seconds, 4),
+                "sessions_per_s": round(mode.sessions_per_second, 1),
+                "p50_ms": round(mode.p50_ms, 3),
+                "p99_ms": round(mode.p99_ms, 3),
+            }
+            for mode in report.modes
+        ],
+        extra={
+            "speedup_batched": round(report.speedup_batched, 3),
+            "speedup_cached": round(report.speedup_cached, 3),
+            "cache_hit_rate": round(report.cache_hit_rate, 4),
+            "mean_batch_size": round(report.mean_batch_size, 2),
+            "identical_verdicts": report.identical_verdicts,
+            "shed_requests": report.shed_requests,
+        },
+    )
+
+
 def _main(argv):
     import argparse
 
@@ -59,11 +96,14 @@ def _main(argv):
         default=0.0,
         help="fail below this batched+cached speedup (0 = report only)",
     )
+    parser.add_argument("--output", default="BENCH_runtime.json")
     args = parser.parse_args(argv)
     report = run_throughput_benchmark(
         n_sessions=args.sessions, seed=args.seed, concurrency=args.concurrency
     )
     print(report.render())
+    _write_report(report, args.output, args)
+    print(f"wrote {args.output}")
     if not report.identical_verdicts:
         print("FAIL: verdict triples differ between modes")
         return 1

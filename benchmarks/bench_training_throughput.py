@@ -100,26 +100,18 @@ class TrainingBenchReport:
         fast = self.cell("columnar", self.jobs).total
         return baseline / fast if fast > 0 else float("inf")
 
-    def to_json(self) -> dict:
-        return {
-            "benchmark": "training_throughput",
-            "sessions": self.sessions,
-            "jobs": self.jobs,
-            "elbow_ks": list(ELBOW_KS),
-            "selected_k": self.cells[0].selected_k,
-            "export_speedup": self.export_speedup,
-            "retrain_speedup": self.retrain_speedup,
-            "cells": [
-                {
-                    "storage": cell.storage,
-                    "jobs": cell.jobs,
-                    "times_s": {k: round(v, 6) for k, v in cell.times.items()},
-                    "total_s": round(cell.total, 6),
-                    "inertia": cell.inertia,
-                }
-                for cell in self.cells
-            ],
-        }
+    def cell_dicts(self) -> List[dict]:
+        return [
+            {
+                "cell": f"{cell.storage}/jobs={cell.jobs}",
+                "storage": cell.storage,
+                "jobs": cell.jobs,
+                "times_s": {k: round(v, 6) for k, v in cell.times.items()},
+                "total_s": round(cell.total, 6),
+                "inertia": cell.inertia,
+            }
+            for cell in self.cells
+        ]
 
     def render(self) -> str:
         lines = [
@@ -293,7 +285,23 @@ def run_training_benchmark(
 
 
 def _write_report(report: TrainingBenchReport, output: Path) -> None:
-    output.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+    from repro.analysis.benchio import write_bench_json
+
+    write_bench_json(
+        output,
+        benchmark="training_throughput",
+        config={
+            "sessions": report.sessions,
+            "jobs": report.jobs,
+            "elbow_ks": list(ELBOW_KS),
+        },
+        cells=report.cell_dicts(),
+        extra={
+            "selected_k": report.cells[0].selected_k,
+            "export_speedup": report.export_speedup,
+            "retrain_speedup": report.retrain_speedup,
+        },
+    )
     # Validate the artifact the way CI consumes it.
     parsed = json.loads(output.read_text())
     assert parsed["benchmark"] == "training_throughput"

@@ -24,6 +24,9 @@ Subcommands:
 * ``rollout``     — drive a staged model rollout against a registry:
   ``start`` a candidate into shadow, inspect ``status``, ``promote``
   one stage toward live, or ``abort``;
+* ``fuse``        — train (``train``) or inspect (``status``) the
+  second-opinion fusion model; ``serve --fusion FUSION.json`` attaches
+  it to the per-request scoring path (``POST /check``, ``GET /fusion``);
 * ``bench-runtime`` — measure per-request vs batched vs cached
   throughput of the online path.
 """
@@ -223,6 +226,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for the durable sliding-window event log "
         "(default: in-memory state only)",
     )
+    serve.add_argument(
+        "--fusion",
+        metavar="FUSION_MODEL",
+        help="attach a trained fusion model (see `fuse train`): enables "
+        "POST /check and GET /fusion plus fused provenance on verdicts "
+        "(per-request single-process mode only)",
+    )
+    serve.add_argument(
+        "--fusion-lift",
+        type=float,
+        default=None,
+        help="lift threshold for the second opinion to count as "
+        "fraud-grade (default: policy default)",
+    )
 
     cluster = sub.add_parser(
         "cluster", help="inspect a running sharded cluster"
@@ -269,6 +286,31 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="share of live-arm traffic mirrored to the candidate",
     )
+
+    fuse = sub.add_parser(
+        "fuse", help="train or inspect the second-opinion fusion model"
+    )
+    fuse_sub = fuse.add_subparsers(dest="fuse_action", required=True)
+    fuse_train = fuse_sub.add_parser(
+        "train",
+        help="propagate weak tags over the training window and save a "
+        "calibrated fusion model",
+    )
+    fuse_train.add_argument("model", help="trained polygraph model .json path")
+    fuse_train.add_argument("output", help="output fusion model .json path")
+    fuse_train.add_argument(
+        "--dataset", help="training dataset .npz (default: simulate)"
+    )
+    fuse_train.add_argument("--sessions", type=int, default=60_000)
+    fuse_train.add_argument("--seed", type=int, default=7)
+    fuse_train.add_argument("--neighbors", type=int, default=None)
+    fuse_train.add_argument("--alpha", type=float, default=None)
+    fuse_train.add_argument("--shrinkage", type=float, default=None)
+    fuse_train.add_argument("--tag-scale", type=float, default=None)
+    fuse_status = fuse_sub.add_parser(
+        "status", help="summarize a saved fusion model"
+    )
+    fuse_status.add_argument("fusion", help="fusion model .json path")
 
     bench = sub.add_parser(
         "bench-runtime",
@@ -533,6 +575,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elif not args.model:
         print("serve: provide a model path or --registry", file=sys.stderr)
         return 2
+    if args.fusion and (args.shards or args.runtime):
+        print(
+            "serve: --fusion requires the per-request single-process "
+            "path (the fusion arm is not batched or shard-aware yet)",
+            file=sys.stderr,
+        )
+        return 2
     managers = []
     if args.shards:
         if args.session_ttl is not None:
@@ -564,6 +613,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"({state.status}, stage {state.stage_index})"
                 )
         mode = "runtime (micro-batched)" if args.runtime else "per-request"
+        if args.fusion:
+            from repro.fusion import FusionArm, FusionModel, FusionPolicy
+            from repro.fusion import FusionPolicyConfig
+
+            fusion_model = FusionModel.load(args.fusion)
+            policy = None
+            if args.fusion_lift is not None:
+                policy = FusionPolicy(
+                    FusionPolicyConfig(
+                        second_opinion_lift=args.fusion_lift,
+                        second_only_lift=args.fusion_lift,
+                    )
+                )
+            service.attach_fusion(FusionArm(fusion_model, policy=policy))
+            mode += ", fusion"
     sessions = None
     if args.session_ttl is not None:
         from repro.sessions import SessionEventLog, SessionScoringService
@@ -586,6 +650,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if sessions is not None:
             endpoints += ", POST /event, GET /session/{id}, GET /sessions"
+        if getattr(service, "fusion", None) is not None:
+            endpoints += ", POST /check, GET /fusion"
         print(
             f"serving {mode} scoring on http://{args.host}:{args.port} "
             f"({endpoints})"
@@ -766,6 +832,65 @@ def _cmd_rollout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    from repro.fusion import FusionModel, PropagationConfig
+    from repro.fusion.model import load_fusion_document
+
+    if args.fuse_action == "status":
+        document = load_fusion_document(args.fusion)
+        reliability = document["reliability"]
+        print(
+            f"fusion model over {len(document['node_keys'])} nodes "
+            f"({document['trained_sessions']} training sessions, "
+            f"reference day {document['reference_day']})"
+        )
+        print(
+            f"propagation: {document['iterations']} iterations, "
+            f"converged={document['converged']}, "
+            f"base rate {document['calibrator']['base_rate']:.5f}"
+        )
+        print(
+            f"calibration: ECE {reliability['ece']:.5f} over "
+            f"{reliability['n']} held-out sessions"
+        )
+        print(f"pipeline digest: {document['pipeline_digest'][:16]}...")
+        return 0
+
+    # train
+    from dataclasses import replace as _replace
+
+    pipeline = BrowserPolygraph.load(args.model)
+    if args.dataset:
+        dataset = Dataset.load(args.dataset)
+    else:
+        config = TrafficConfig(seed=args.seed).scaled(args.sessions)
+        dataset = TrafficSimulator(config).generate()
+    prop = PropagationConfig()
+    overrides = {
+        "n_neighbors": args.neighbors,
+        "alpha": args.alpha,
+        "shrinkage": args.shrinkage,
+        "tag_scale": args.tag_scale,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if overrides:
+        prop = _replace(prop, **overrides)
+    model = FusionModel.train(dataset, pipeline.cluster_model, config=prop)
+    model.save(args.output)
+    status = model.status_dict()
+    print(
+        f"propagated weak tags over {status['nodes']} nodes from "
+        f"{len(dataset)} sessions "
+        f"({status['iterations']} iterations, "
+        f"converged={status['converged']})"
+    )
+    print(
+        f"base rate {status['base_rate']:.5f}; held-out "
+        f"ECE {status['reliability_ece']:.5f}; model saved to {args.output}"
+    )
+    return 0
+
+
 def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     from repro.runtime.bench import run_throughput_benchmark
 
@@ -804,6 +929,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "sessions": _cmd_sessions,
         "rollout": _cmd_rollout,
+        "fuse": _cmd_fuse,
         "bench-runtime": _cmd_bench_runtime,
     }
     try:

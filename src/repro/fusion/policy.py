@@ -1,0 +1,180 @@
+"""Verdict fusion: the agreement matrix and its guardrails.
+
+Two detectors, four cells:
+
+====================  =====================  ==========================
+cluster verdict        second opinion         agreement cell
+====================  =====================  ==========================
+benign                 benign                 ``agree_benign``
+flagged                fraud-grade            ``agree_fraud``
+flagged                benign                 ``cluster_only``
+benign                 fraud-grade            ``second_opinion_only``
+====================  =====================  ==========================
+
+The second opinion is "fraud-grade" when its calibrated probability's
+lift over the base rate clears a per-cell threshold: one bar to enter
+the matrix at all (``second_opinion_lift``) and a separate, usually
+higher bar for the second opinion to flag *alone*
+(``second_only_lift`` — a cell where the cluster model actively
+disagrees deserves more evidence).  The fused verdict is additive-only:
+it never un-flags what the cluster arm flagged, so disabling fusion
+restores cluster-only behaviour bit for bit.
+
+:class:`FusionGuardrailConfig` mirrors the rollout subsystem's
+``GuardrailConfig`` shape (ceilings + a minimum sample) so a bad
+fusion model auto-disables the same way a bad candidate rolls back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.fusion.model import SecondOpinion
+
+__all__ = [
+    "AgreementCell",
+    "FusedVerdict",
+    "FusionGuardrailConfig",
+    "FusionPolicy",
+    "FusionPolicyConfig",
+]
+
+
+class AgreementCell(str, Enum):
+    """Where one session lands in the two-detector agreement matrix."""
+
+    AGREE_BENIGN = "agree_benign"
+    AGREE_FRAUD = "agree_fraud"
+    CLUSTER_ONLY = "cluster_only"
+    SECOND_ONLY = "second_opinion_only"
+
+
+@dataclass(frozen=True)
+class FusionPolicyConfig:
+    """Per-cell decision thresholds.
+
+    Parameters
+    ----------
+    second_opinion_lift:
+        Calibrated-probability lift (vs the base seed rate) at which
+        the second opinion counts as fraud-grade.
+    second_only_lift:
+        Higher bar for the ``second_opinion_only`` cell to escalate
+        the fused verdict on its own.
+    cluster_only_flags / second_only_flags:
+        Whether the respective single-detector cells escalate the
+        fused verdict (both default on; turning ``second_only_flags``
+        off demotes fusion to a pure annotator).
+    """
+
+    second_opinion_lift: float = 2.0
+    second_only_lift: float = 2.0
+    cluster_only_flags: bool = True
+    second_only_flags: bool = True
+
+    def __post_init__(self) -> None:
+        if self.second_opinion_lift <= 0:
+            raise ValueError("second_opinion_lift must be positive")
+        if self.second_only_lift < self.second_opinion_lift:
+            raise ValueError(
+                "second_only_lift must be >= second_opinion_lift "
+                "(the lone-detector cell cannot have a lower bar)"
+            )
+
+
+@dataclass(frozen=True)
+class FusionGuardrailConfig:
+    """Limits the serving arm must stay inside, or it disables itself.
+
+    Parameters
+    ----------
+    max_second_flag_rate:
+        Ceiling on the share of verdicts where the second opinion is
+        fraud-grade — a mis-calibrated model flooding the risk engine
+        is exactly the failure this exists to stop.
+    max_fused_flag_rate_delta:
+        Ceiling on ``fused flag rate - cluster flag rate`` (how much
+        extra traffic fusion escalates overall).
+    max_mean_latency_ms:
+        Ceiling on the mean per-session second-opinion latency.
+    min_verdicts:
+        Guardrails stay quiet until this many fused verdicts have
+        accumulated (no verdicts, no verdict).
+    """
+
+    max_second_flag_rate: float = 0.05
+    max_fused_flag_rate_delta: float = 0.05
+    max_mean_latency_ms: float = 50.0
+    min_verdicts: int = 200
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_second_flag_rate <= 1.0:
+            raise ValueError("max_second_flag_rate must lie in [0, 1]")
+        if not 0.0 <= self.max_fused_flag_rate_delta <= 1.0:
+            raise ValueError("max_fused_flag_rate_delta must lie in [0, 1]")
+        if self.max_mean_latency_ms <= 0:
+            raise ValueError("max_mean_latency_ms must be positive")
+        if self.min_verdicts < 1:
+            raise ValueError("min_verdicts must be >= 1")
+
+
+@dataclass(frozen=True)
+class FusedVerdict:
+    """The fusion layer's answer for one session."""
+
+    cluster_flagged: bool
+    second_flagged: bool
+    fused_flagged: bool
+    cell: AgreementCell
+    probability: float
+    lift: float
+
+    def to_dict(self) -> dict:
+        return {
+            "cluster_flagged": self.cluster_flagged,
+            "second_flagged": self.second_flagged,
+            "fused_flagged": self.fused_flagged,
+            "cell": self.cell.value,
+            "probability": round(self.probability, 8),
+            "lift": round(self.lift, 4),
+        }
+
+
+class FusionPolicy:
+    """Pure decision logic: (cluster verdict, second opinion) -> cell."""
+
+    def __init__(self, config: Optional[FusionPolicyConfig] = None) -> None:
+        self.config = config or FusionPolicyConfig()
+
+    def decide(
+        self, cluster_flagged: bool, opinion: SecondOpinion
+    ) -> FusedVerdict:
+        config = self.config
+        second_flagged = opinion.lift >= config.second_opinion_lift
+        if cluster_flagged and second_flagged:
+            cell = AgreementCell.AGREE_FRAUD
+            fused = True
+        elif cluster_flagged:
+            cell = AgreementCell.CLUSTER_ONLY
+            fused = config.cluster_only_flags
+        elif second_flagged:
+            cell = AgreementCell.SECOND_ONLY
+            fused = (
+                config.second_only_flags
+                and opinion.lift >= config.second_only_lift
+            )
+        else:
+            cell = AgreementCell.AGREE_BENIGN
+            fused = False
+        # Additive-only: a flagged cluster verdict always survives.
+        fused = fused or cluster_flagged
+        return FusedVerdict(
+            cluster_flagged=cluster_flagged,
+            second_flagged=second_flagged,
+            fused_flagged=fused,
+            cell=cell,
+            probability=opinion.probability,
+            lift=opinion.lift,
+        )

@@ -1,0 +1,272 @@
+"""Semi-supervised label spreading over fingerprint-space neighborhoods.
+
+Coarse fingerprints are low-cardinality by design (the paper's whole
+privacy argument), so sessions collapse into a few hundred *nodes*
+keyed by ``(fingerprint, untrusted_ip, untrusted_cookie,
+staleness-bucket)``.  Each node embeds as the mean PCA projection of
+its member sessions plus scaled tag/staleness dimensions; a k-NN
+Gaussian affinity graph connects look-alike nodes, and the classic
+Zhou-style iteration
+
+    F  <-  alpha * S @ F + (1 - alpha) * Y
+
+spreads the sparse ``ato`` seed rates (shrunk toward the base rate so
+tiny nodes don't scream) across the graph.  The result is a soft fraud
+score for *every* node — including ones whose own sessions carry no
+tags at all, which is the point: Category-4 replays sit in nodes whose
+neighborhoods are enriched with tagged Category-1/2 fraud.
+
+Non-convergence within the iteration cap is not an error: the scores
+fall back to the seed rates ``Y`` (documented, observable via
+``PropagationResult.converged``) so a pathological graph degrades to
+per-node empirical rates instead of shipping a half-mixed state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["NodeIndex", "PropagationConfig", "PropagationResult", "propagate"]
+
+
+@dataclass(frozen=True)
+class PropagationConfig:
+    """Knobs of the node graph and the spreading iteration.
+
+    Parameters
+    ----------
+    n_neighbors:
+        k of the k-NN affinity graph (clamped to ``n_nodes - 1``).
+    alpha:
+        Mixing weight of neighborhood information vs the seed rates;
+        higher spreads further.
+    max_iterations / tolerance:
+        Convergence cap: iteration stops when the max absolute score
+        delta drops below ``tolerance`` or the cap is hit (then scores
+        fall back to the seeds).
+    shrinkage:
+        Pseudo-count pulling small nodes' seed rates toward the
+        population base rate (Laplace-style: ``(k + m*base)/(n + m)``).
+    tag_scale:
+        Weight of the tag/staleness embedding dimensions, as a multiple
+        of the median per-dimension spread of the PCA projection.
+    staleness_bucket_days / max_staleness_buckets:
+        Claimed-release staleness is bucketed into
+        ``min(days // bucket, max)`` so nodes stay low-cardinality.
+    """
+
+    n_neighbors: int = 10
+    alpha: float = 0.85
+    max_iterations: int = 200
+    tolerance: float = 1e-9
+    shrinkage: float = 10.0
+    tag_scale: float = 4.0
+    staleness_bucket_days: float = 45.0
+    max_staleness_buckets: int = 5
+
+    def __post_init__(self) -> None:
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must lie in (0, 1)")
+        if self.max_iterations < 0:
+            raise ValueError("max_iterations must be >= 0")
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if self.shrinkage < 0.0:
+            raise ValueError("shrinkage must be >= 0")
+        if self.tag_scale <= 0.0:
+            raise ValueError("tag_scale must be positive")
+        if self.staleness_bucket_days <= 0.0:
+            raise ValueError("staleness_bucket_days must be positive")
+        if self.max_staleness_buckets < 0:
+            raise ValueError("max_staleness_buckets must be >= 0")
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Outcome of one spreading run over the node graph."""
+
+    node_scores: np.ndarray
+    iterations: int
+    converged: bool
+
+
+@dataclass
+class NodeIndex:
+    """Session-to-node assignment plus per-node aggregates.
+
+    ``keys[i]`` is the ``(fingerprint-digest, ip, cookie, bucket)``
+    tuple of node ``i``; ``node_of[j]`` maps session ``j`` to its node.
+    """
+
+    keys: list
+    node_of: np.ndarray
+    counts: np.ndarray
+    embeddings: np.ndarray
+    tag_scale_abs: float
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def staleness_bucket(
+    staleness: np.ndarray, config: PropagationConfig
+) -> np.ndarray:
+    """Bucket staleness days per the config's coarse grid."""
+    buckets = np.floor(
+        np.asarray(staleness, dtype=np.float64) / config.staleness_bucket_days
+    )
+    return np.minimum(buckets, config.max_staleness_buckets).astype(np.int64)
+
+
+def build_node_index(
+    fingerprint_digests: list,
+    projected: np.ndarray,
+    untrusted_ip: np.ndarray,
+    untrusted_cookie: np.ndarray,
+    staleness: np.ndarray,
+    config: PropagationConfig,
+) -> NodeIndex:
+    """Collapse sessions into nodes and embed each node.
+
+    The embedding concatenates the mean PCA projection of the node's
+    members with the (ip, cookie, normalized-staleness) dimensions
+    scaled to ``tag_scale`` times the median projection spread, so
+    neighborhoods respect both fingerprint similarity and behavioural
+    context without either axis drowning the other.
+    """
+    n = projected.shape[0]
+    ip = np.asarray(untrusted_ip, dtype=np.float64)
+    cookie = np.asarray(untrusted_cookie, dtype=np.float64)
+    buckets = staleness_bucket(staleness, config)
+
+    index_of: Dict[Tuple, int] = {}
+    keys: list = []
+    node_of = np.empty(n, dtype=np.int64)
+    for row in range(n):
+        key = (
+            fingerprint_digests[row],
+            int(ip[row]),
+            int(cookie[row]),
+            int(buckets[row]),
+        )
+        node = index_of.get(key)
+        if node is None:
+            node = len(keys)
+            index_of[key] = node
+            keys.append(key)
+        node_of[row] = node
+
+    n_nodes = len(keys)
+    counts = np.bincount(node_of, minlength=n_nodes).astype(np.float64)
+    mean_proj = np.zeros((n_nodes, projected.shape[1]))
+    np.add.at(mean_proj, node_of, projected)
+    mean_proj /= counts[:, None]
+
+    spread = float(np.median(mean_proj.std(axis=0))) if n_nodes > 1 else 1.0
+    tag_scale_abs = config.tag_scale * (spread if spread > 0 else 1.0)
+
+    denominator = float(max(config.max_staleness_buckets, 1))
+    tag_dims = np.zeros((n_nodes, 3))
+    for column, values in enumerate((ip, cookie, buckets / denominator)):
+        totals = np.zeros(n_nodes)
+        np.add.at(totals, node_of, np.asarray(values, dtype=np.float64))
+        tag_dims[:, column] = totals / counts
+
+    embeddings = np.hstack([mean_proj, tag_dims * tag_scale_abs])
+    return NodeIndex(
+        keys=keys,
+        node_of=node_of,
+        counts=counts,
+        embeddings=embeddings,
+        tag_scale_abs=tag_scale_abs,
+    )
+
+
+def seed_scores(
+    index: NodeIndex,
+    seed_mask: np.ndarray,
+    config: PropagationConfig,
+    member_mask: np.ndarray = None,
+) -> Tuple[np.ndarray, float]:
+    """Shrunk per-node seed rates and the population base rate.
+
+    ``member_mask`` restricts which sessions contribute (the trainer
+    seeds on the fit half only, keeping the calibration half blind);
+    a node with no contributing members falls back to the base rate.
+    """
+    seeds = np.asarray(seed_mask, dtype=np.float64)
+    if member_mask is None:
+        members = np.ones_like(seeds)
+    else:
+        members = np.asarray(member_mask, dtype=np.float64)
+        seeds = seeds * members
+    total_members = float(members.sum())
+    base = float(seeds.sum() / total_members) if total_members else 0.0
+    per_node_seeds = np.zeros(len(index))
+    per_node_members = np.zeros(len(index))
+    np.add.at(per_node_seeds, index.node_of, seeds)
+    np.add.at(per_node_members, index.node_of, members)
+    denominator = per_node_members + config.shrinkage
+    shrunk = np.full(len(index), base)
+    observed = denominator > 0
+    shrunk[observed] = (
+        per_node_seeds[observed] + config.shrinkage * base
+    ) / denominator[observed]
+    return shrunk, base
+
+
+def _affinity(embeddings: np.ndarray, config: PropagationConfig) -> np.ndarray:
+    """Symmetrized, degree-normalized k-NN Gaussian affinity matrix."""
+    n_nodes = embeddings.shape[0]
+    if n_nodes < 2:
+        return np.zeros((n_nodes, n_nodes))
+    deltas = embeddings[:, None, :] - embeddings[None, :, :]
+    distances = np.einsum("ijk,ijk->ij", deltas, deltas)
+    np.fill_diagonal(distances, np.inf)
+    k = min(config.n_neighbors, n_nodes - 1)
+    neighbor_idx = np.argsort(distances, axis=1)[:, :k]
+    rows = np.repeat(np.arange(n_nodes), k)
+    cols = neighbor_idx.ravel()
+    sigma2 = float(np.median(distances[rows, cols]))
+    if not np.isfinite(sigma2) or sigma2 <= 0:
+        sigma2 = 1.0
+    weights = np.zeros((n_nodes, n_nodes))
+    weights[rows, cols] = np.exp(-distances[rows, cols] / sigma2)
+    weights = np.maximum(weights, weights.T)
+    degree = weights.sum(axis=1)
+    degree[degree == 0] = 1.0
+    inv_sqrt = 1.0 / np.sqrt(degree)
+    return weights * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def propagate(
+    embeddings: np.ndarray,
+    seeds: np.ndarray,
+    config: PropagationConfig,
+) -> PropagationResult:
+    """Run the spreading iteration; fall back to seeds on non-convergence."""
+    seeds = np.asarray(seeds, dtype=np.float64)
+    normalized = _affinity(embeddings, config)
+    scores = seeds.copy()
+    for iteration in range(1, config.max_iterations + 1):
+        updated = config.alpha * (normalized @ scores) + (
+            1.0 - config.alpha
+        ) * seeds
+        delta = float(np.abs(updated - scores).max()) if scores.size else 0.0
+        scores = updated
+        if delta < config.tolerance:
+            return PropagationResult(
+                node_scores=scores, iterations=iteration, converged=True
+            )
+    # Documented fallback: half-mixed scores are worse than the plain
+    # shrunk empirical rates, so ship the seeds and say so.
+    return PropagationResult(
+        node_scores=seeds.copy(),
+        iterations=config.max_iterations,
+        converged=False,
+    )

@@ -17,7 +17,13 @@ under any WSGI server (``wsgiref.simple_server`` works for demos):
   session layer, responds with the per-event verdict plus the sticky
   session verdict and any revision (404 when session streaming is off);
 * ``GET  /session/{id}`` — live state of one session;
-* ``GET  /sessions`` — session-layer aggregate status.
+* ``GET  /sessions`` — session-layer aggregate status;
+* ``POST /check`` — the risk engine's fused-verdict endpoint: a wire
+  payload plus optional ``untrusted_ip`` / ``untrusted_cookie`` /
+  ``day`` context, answered with the cluster verdict *and* the fused
+  verdict + agreement cell (404 when no fusion arm is attached);
+* ``GET  /fusion`` — fusion-arm status: agreement-cell counters,
+  guardrail state, and the model summary.
 
 The app never exposes more than the verdict: the cluster table and the
 model internals stay server-side, which matters because Algorithm 1's
@@ -80,6 +86,10 @@ class CollectionApp:
             return self._rollout(start_response)
         if method == "GET" and path == "/cluster":
             return self._cluster(start_response)
+        if method == "POST" and path == "/check":
+            return self._check(environ, start_response)
+        if method == "GET" and path == "/fusion":
+            return self._fusion(start_response)
         if method == "POST" and path == "/event":
             return self._event(environ, start_response)
         if method == "GET" and path == "/sessions":
@@ -127,6 +137,76 @@ class CollectionApp:
                 )
             return self._respond(start_response, "400 Bad Request", document)
         return self._respond(start_response, "202 Accepted", document)
+
+    def _check(self, environ: dict, start_response: Callable) -> List[bytes]:
+        if getattr(self.service, "fusion", None) is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "fusion not enabled"},
+            )
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        # The check envelope adds the risk-engine context fields on top
+        # of the wire payload; a fixed allowance covers them.
+        if length <= 0 or length > _MAX_BODY + 128:
+            return self._respond(
+                start_response, "400 Bad Request", {"error": "bad content length"}
+            )
+        body = environ["wsgi.input"].read(length)
+        try:
+            envelope = json.loads(body.decode("utf-8"))
+            if not isinstance(envelope, dict):
+                raise ValueError("not an object")
+        except (ValueError, UnicodeDecodeError):
+            return self._respond(
+                start_response, "400 Bad Request", {"error": "malformed body"}
+            )
+        day = None
+        if envelope.get("day"):
+            from datetime import date
+
+            try:
+                day = date.fromisoformat(str(envelope["day"]))
+            except ValueError:
+                return self._respond(
+                    start_response, "400 Bad Request", {"error": "bad day"}
+                )
+        tags = (
+            bool(envelope.get("untrusted_ip", False)),
+            bool(envelope.get("untrusted_cookie", False)),
+        )
+        core = {key: envelope[key] for key in ("sid", "ua", "f") if key in envelope}
+        if "g" in envelope:
+            core["g"] = envelope["g"]
+        wire = json.dumps(core, separators=(",", ":")).encode("utf-8")
+        verdict = self.service.score_wire(wire, day=day, tags=tags)
+        document = {
+            "accepted": verdict.accepted,
+            "flagged": verdict.flagged,
+            "risk_factor": verdict.risk_factor,
+            "fused_flagged": verdict.fused_flagged,
+            "fusion_cell": verdict.fusion_cell,
+            "second_probability": verdict.second_probability,
+            "second_lift": verdict.second_lift,
+            "latency_ms": round(verdict.latency_ms, 3),
+        }
+        if not verdict.accepted:
+            document["reject_reason"] = verdict.reject_reason
+            return self._respond(start_response, "400 Bad Request", document)
+        return self._respond(start_response, "200 OK", document)
+
+    def _fusion(self, start_response: Callable) -> List[bytes]:
+        arm = getattr(self.service, "fusion", None)
+        if arm is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "fusion not enabled"},
+            )
+        return self._respond(start_response, "200 OK", arm.status_dict())
 
     def _event(self, environ: dict, start_response: Callable) -> List[bytes]:
         if self.sessions is None:
@@ -229,6 +309,9 @@ class CollectionApp:
         runtime_lines = getattr(self.service, "runtime_metrics_lines", None)
         if runtime_lines is not None:
             lines.extend(runtime_lines())
+        fusion = getattr(self.service, "fusion", None)
+        if fusion is not None:
+            lines.extend(fusion.metrics_lines())
         if self.sessions is not None:
             lines.extend(self.sessions.metrics_lines())
         body = ("\n".join(lines) + "\n").encode("utf-8")

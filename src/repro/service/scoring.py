@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from datetime import date
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.pipeline import BrowserPolygraph
 from repro.service.ingest import IngestResult, PayloadValidator
@@ -22,7 +22,14 @@ __all__ = ["ScoringService", "Verdict"]
 
 @dataclass(frozen=True)
 class Verdict:
-    """The service's answer for one session."""
+    """The service's answer for one session.
+
+    ``flagged`` / ``risk_factor`` are always the cluster-distance
+    verdict — the fusion arm is additive-only, so these stay
+    bit-identical whether fusion is attached or not.  The ``fused_*`` /
+    ``second_*`` provenance fields are populated only when a fusion arm
+    scored the session, and stay ``None`` otherwise.
+    """
 
     session_id: str
     accepted: bool
@@ -30,6 +37,10 @@ class Verdict:
     risk_factor: Optional[int]
     reject_reason: Optional[str]
     latency_ms: float
+    fused_flagged: Optional[bool] = None
+    fusion_cell: Optional[str] = None
+    second_probability: Optional[float] = None
+    second_lift: Optional[float] = None
 
     @property
     def actionable(self) -> bool:
@@ -50,6 +61,10 @@ class ScoringService:
     store:
         Optional durable store; accepted payloads are appended so the
         next training window can be exported later.
+    fusion:
+        Optional :class:`~repro.fusion.arm.FusionArm`; when attached,
+        verdicts carry the fused provenance fields on top of the
+        (unchanged) cluster verdict.
     """
 
     def __init__(
@@ -57,17 +72,36 @@ class ScoringService:
         polygraph: BrowserPolygraph,
         validator: Optional[PayloadValidator] = None,
         store: Optional[SessionStore] = None,
+        fusion=None,
     ) -> None:
         if not polygraph.is_fitted:
             raise ValueError("ScoringService requires a fitted BrowserPolygraph")
         self.polygraph = polygraph
         self.validator = validator if validator is not None else PayloadValidator()
         self.store = store
+        self.fusion = None
         self.scored_count = 0
         self.flagged_count = 0
+        if fusion is not None:
+            self.attach_fusion(fusion)
 
-    def score_wire(self, wire: bytes, day: Optional[date] = None) -> Verdict:
-        """The full online path for one request."""
+    def attach_fusion(self, arm) -> "ScoringService":
+        """Attach a fusion arm bound to this service's pipeline."""
+        self.fusion = arm.bind_pipeline(self.polygraph)
+        return self
+
+    def score_wire(
+        self,
+        wire: bytes,
+        day: Optional[date] = None,
+        tags: Optional[Tuple[bool, bool]] = None,
+    ) -> Verdict:
+        """The full online path for one request.
+
+        ``tags`` optionally carries the risk engine's
+        ``(untrusted_ip, untrusted_cookie)`` signals for the fusion
+        arm; it is ignored when no arm is attached.
+        """
         started = time.perf_counter()
         ingest: IngestResult = self.validator.ingest_wire(wire)
         if not ingest.accepted:
@@ -86,6 +120,24 @@ class ScoringService:
         self.scored_count += 1
         if result.flagged:
             self.flagged_count += 1
+        fused_flagged = None
+        fusion_cell = None
+        second_probability = None
+        second_lift = None
+        if self.fusion is not None:
+            outcome = self.fusion.consider(
+                payload.values,
+                payload.user_agent,
+                result.flagged,
+                day=day,
+                tags=tags,
+            )
+            if outcome is not None:
+                opinion, fused = outcome
+                fused_flagged = fused.fused_flagged
+                fusion_cell = fused.cell.value
+                second_probability = opinion.probability
+                second_lift = opinion.lift
         return Verdict(
             session_id=payload.session_id,
             accepted=True,
@@ -93,6 +145,10 @@ class ScoringService:
             risk_factor=result.risk_factor,
             reject_reason=None,
             latency_ms=(time.perf_counter() - started) * 1000.0,
+            fused_flagged=fused_flagged,
+            fusion_cell=fusion_cell,
+            second_probability=second_probability,
+            second_lift=second_lift,
         )
 
     def retrain(

@@ -138,6 +138,10 @@ class SessionScoringService:
         self.revision_reasons: Dict[str, int] = {
             reason.value: 0 for reason in RevisionReason
         }
+        # Sticky per-session fusion provenance (populated only when the
+        # inner service has a fusion arm attached); insertion-ordered so
+        # capacity eviction drops the oldest sessions first.
+        self._fusion_by_sid: Dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # clock
@@ -244,6 +248,8 @@ class SessionScoringService:
             )
             session_flagged = state.flagged
             session_risk = state.risk_factor
+            if verdict.fused_flagged is not None:
+                self._record_fusion_locked(event.session_id, verdict)
         if self.event_log is not None:
             self.event_log.append(
                 session_id=event.session_id,
@@ -331,6 +337,25 @@ class SessionScoringService:
             self.escalations_total += 1
         return revision
 
+    def _record_fusion_locked(self, session_id: str, verdict: Verdict) -> None:
+        """Fold one fused verdict into the session's sticky fusion state.
+
+        ``fused_flagged`` sticks once true (mirroring the session
+        verdict's ratchet); the cell/score fields track the latest
+        event so operators see the current agreement, not a stale one.
+        """
+        previous = self._fusion_by_sid.pop(session_id, None)
+        entry = {
+            "fused_flagged": bool(verdict.fused_flagged)
+            or bool(previous and previous["fused_flagged"]),
+            "cell": verdict.fusion_cell,
+            "second_probability": verdict.second_probability,
+            "second_lift": verdict.second_lift,
+        }
+        self._fusion_by_sid[session_id] = entry
+        while len(self._fusion_by_sid) > self.tracker.max_sessions:
+            self._fusion_by_sid.pop(next(iter(self._fusion_by_sid)))
+
     def _detect(self, values: Tuple[int, ...], user_agent: str):
         """Memoized full detection result for cluster-flip tracking."""
         key = (values, user_agent)
@@ -356,7 +381,11 @@ class SessionScoringService:
         if state is None:
             return None
         with self._lock:
-            return state.to_dict()
+            snapshot = state.to_dict()
+            fusion = self._fusion_by_sid.get(session_id)
+            if fusion is not None:
+                snapshot["fused_verdict"] = dict(fusion)
+            return snapshot
 
     def status_dict(self) -> dict:
         """Aggregate status (``GET /sessions`` and the CLI)."""

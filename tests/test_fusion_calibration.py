@@ -1,0 +1,132 @@
+"""Isotonic calibration and the fit/holdout split — pure-numpy units."""
+
+import numpy as np
+import pytest
+
+from repro.fusion.calibration import (
+    IsotonicCalibrator,
+    pav_fit,
+    reliability_report,
+    split_halves,
+)
+
+
+class TestPAV:
+    def test_already_monotone_is_identity(self):
+        values = np.array([0.0, 0.1, 0.4, 0.9])
+        assert np.allclose(pav_fit(values), values)
+
+    def test_violators_pool_to_block_means(self):
+        # Classic example: a decreasing pair pools to its mean.
+        fitted = pav_fit(np.array([1.0, 0.0]))
+        assert np.allclose(fitted, [0.5, 0.5])
+
+    def test_output_is_nondecreasing(self):
+        rng = np.random.default_rng(3)
+        fitted = pav_fit(rng.normal(size=200))
+        assert np.all(np.diff(fitted) >= -1e-12)
+
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(size=64)
+        assert pav_fit(values).mean() == pytest.approx(values.mean())
+
+
+class TestIsotonicCalibrator:
+    def test_empty_tag_set(self):
+        # No outcomes at all: calibrate to zero everywhere, zero base.
+        calibrator = IsotonicCalibrator.fit(np.array([]), np.array([]))
+        assert calibrator.base_rate == 0.0
+        assert calibrator.transform_one(0.7) == 0.0
+
+    def test_single_class_all_negative(self):
+        raw = np.linspace(0, 1, 50)
+        calibrator = IsotonicCalibrator.fit(raw, np.zeros(50))
+        assert calibrator.base_rate == 0.0
+        assert np.all(calibrator.transform(raw) == 0.0)
+
+    def test_single_class_all_positive(self):
+        # The all-tagged population: every probability is 1.
+        raw = np.linspace(0, 1, 50)
+        calibrator = IsotonicCalibrator.fit(raw, np.ones(50))
+        assert calibrator.base_rate == 1.0
+        assert np.all(calibrator.transform(raw) == 1.0)
+
+    def test_monotone_and_clipped(self):
+        rng = np.random.default_rng(11)
+        raw = rng.uniform(size=500)
+        outcomes = (rng.uniform(size=500) < raw).astype(float)
+        calibrator = IsotonicCalibrator.fit(raw, outcomes)
+        grid = np.linspace(-1.0, 2.0, 100)  # outside the fitted range too
+        probabilities = calibrator.transform(grid)
+        assert np.all(np.diff(probabilities) >= -1e-12)
+        assert probabilities.min() >= 0.0 and probabilities.max() <= 1.0
+
+    def test_recovers_a_monotone_signal(self):
+        rng = np.random.default_rng(13)
+        raw = rng.uniform(size=4000)
+        outcomes = (rng.uniform(size=4000) < raw).astype(float)
+        calibrator = IsotonicCalibrator.fit(raw, outcomes)
+        assert calibrator.transform_one(0.9) > calibrator.transform_one(0.1)
+        assert calibrator.transform_one(0.5) == pytest.approx(0.5, abs=0.1)
+
+    def test_duplicate_raw_scores_collapse_to_knots(self):
+        raw = np.array([0.2, 0.2, 0.2, 0.8, 0.8])
+        outcomes = np.array([0.0, 0.0, 1.0, 1.0, 1.0])
+        calibrator = IsotonicCalibrator.fit(raw, outcomes)
+        assert calibrator.xs.shape == (2,)  # one knot per distinct raw
+
+    def test_round_trip_through_dict(self):
+        raw = np.linspace(0, 1, 20)
+        outcomes = (raw > 0.6).astype(float)
+        calibrator = IsotonicCalibrator.fit(raw, outcomes)
+        restored = IsotonicCalibrator.from_dict(calibrator.to_dict())
+        assert np.array_equal(restored.xs, calibrator.xs)
+        assert np.array_equal(restored.ys, calibrator.ys)
+        assert restored.base_rate == calibrator.base_rate
+
+    def test_misaligned_curve_rejected(self):
+        with pytest.raises(ValueError):
+            IsotonicCalibrator(xs=[0.0, 1.0], ys=[0.0], base_rate=0.0)
+
+
+class TestReliabilityReport:
+    def test_empty(self):
+        report = reliability_report(np.array([]), np.array([]))
+        assert report == {"bins": [], "ece": 0.0, "n": 0}
+
+    def test_perfectly_calibrated_has_near_zero_ece(self):
+        rng = np.random.default_rng(17)
+        probabilities = rng.uniform(size=20_000)
+        outcomes = (rng.uniform(size=20_000) < probabilities).astype(float)
+        report = reliability_report(probabilities, outcomes)
+        assert report["n"] == 20_000
+        assert report["ece"] < 0.03
+
+    def test_miscalibrated_has_large_ece(self):
+        probabilities = np.full(1000, 0.9)
+        outcomes = np.zeros(1000)
+        report = reliability_report(probabilities, outcomes)
+        assert report["ece"] > 0.8
+
+    def test_constant_probabilities_single_degenerate_range(self):
+        probabilities = np.full(100, 0.5)
+        outcomes = np.ones(100)
+        report = reliability_report(probabilities, outcomes)
+        assert report["n"] == 100  # degenerate range must not crash
+
+
+class TestSplitHalves:
+    def test_partition(self):
+        fit_mask, holdout_mask = split_halves(11)
+        assert not np.any(fit_mask & holdout_mask)
+        assert np.all(fit_mask | holdout_mask)
+        assert fit_mask.sum() == 6 and holdout_mask.sum() == 5
+
+    def test_deterministic_and_interleaved(self):
+        fit_mask, _ = split_halves(6)
+        assert fit_mask.tolist() == [True, False, True, False, True, False]
+
+    def test_empty(self):
+        fit_mask, holdout_mask = split_halves(0)
+        assert fit_mask.shape == (0,) and holdout_mask.shape == (0,)
