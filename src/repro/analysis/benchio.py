@@ -15,9 +15,19 @@ import subprocess
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-__all__ = ["BENCH_SCHEMA_VERSION", "git_commit", "write_bench_json"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "diff_bench_documents",
+    "git_commit",
+    "read_bench_json",
+    "write_bench_json",
+]
 
 BENCH_SCHEMA_VERSION = 1
+
+# Metric-name suffixes/tokens treated as throughput (higher is better)
+# by ``benchio diff``.  Everything else is reported but never gates.
+_THROUGHPUT_MARKERS = ("_per_s", "_wps", "throughput")
 
 
 def git_commit() -> Optional[str]:
@@ -67,3 +77,120 @@ def write_bench_json(
         json.dump(document, handle, indent=2)
         handle.write("\n")
     return document
+
+
+def read_bench_json(path: Union[str, Path]) -> Dict:
+    """Load one benchmark document (no schema coercion, just parse)."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _is_throughput(name: str) -> bool:
+    return any(marker in name for marker in _THROUGHPUT_MARKERS)
+
+
+def diff_bench_documents(
+    old: Dict, new: Dict, max_regress: float = 0.15
+) -> Dict:
+    """Compare two documents of the same benchmark, cell by cell.
+
+    Cells are matched by their ``cell`` name (falling back to position
+    for pre-schema artifacts).  Every numeric metric both sides share is
+    reported; metrics whose name marks them as throughput
+    (``*_per_s``, ``*_wps``, ``*throughput*``) additionally *gate*: a
+    drop of more than ``max_regress`` (relative) is a regression.
+
+    Returns ``{"rows": [...], "regressions": [...]}`` where each row is
+    ``(cell, metric, old, new, rel_change, gated)``.
+    """
+    old_cells = {
+        cell.get("cell", f"#{i}"): cell
+        for i, cell in enumerate(old.get("cells", []))
+    }
+    new_cells = {
+        cell.get("cell", f"#{i}"): cell
+        for i, cell in enumerate(new.get("cells", []))
+    }
+    rows = []
+    regressions = []
+    for name in old_cells:
+        if name not in new_cells:
+            continue
+        before, after = old_cells[name], new_cells[name]
+        for metric in before:
+            if metric == "cell" or metric not in after:
+                continue
+            a, b = before[metric], after[metric]
+            if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+                continue
+            if isinstance(a, bool) or isinstance(b, bool):
+                continue
+            change = (b - a) / a if a else (0.0 if b == a else float("inf"))
+            gated = _is_throughput(metric)
+            rows.append((name, metric, a, b, change, gated))
+            if gated and change < -max_regress:
+                regressions.append(
+                    f"{name}.{metric}: {a:g} -> {b:g} "
+                    f"({100 * change:+.1f}% < -{100 * max_regress:.0f}%)"
+                )
+    return {"rows": rows, "regressions": regressions}
+
+
+def _cmd_diff(args) -> int:
+    old = read_bench_json(args.old)
+    new = read_bench_json(args.new)
+    if old.get("benchmark") != new.get("benchmark"):
+        print(
+            f"benchmark mismatch: {old.get('benchmark')} vs "
+            f"{new.get('benchmark')}"
+        )
+        return 2
+    result = diff_bench_documents(old, new, max_regress=args.max_regress)
+    shown = 0
+    for cell, metric, a, b, change, gated in result["rows"]:
+        if args.all or gated or abs(change) > 0.01:
+            marker = " *" if gated else ""
+            print(f"  {cell:<24} {metric:<22} {a:>12g} -> {b:>12g}  {100 * change:+7.1f}%{marker}")
+            shown += 1
+    if not shown:
+        print("  (no differing metrics)")
+    if result["regressions"]:
+        print(f"\nREGRESSION ({len(result['regressions'])} gated metric(s) fell):")
+        for line in result["regressions"]:
+            print(f"  {line}")
+        return 1
+    print(f"\nok: no gated metric fell more than {100 * args.max_regress:.0f}%")
+    return 0
+
+
+def main(argv=None) -> int:
+    """``python -m repro.analysis.benchio`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.benchio",
+        description="shared bench-artifact tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    diff = sub.add_parser(
+        "diff", help="compare two bench JSONs; exit 1 on throughput regression"
+    )
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.15,
+        help="relative throughput drop tolerated before failing (default 0.15)",
+    )
+    diff.add_argument(
+        "--all", action="store_true", help="print unchanged metrics too"
+    )
+    args = parser.parse_args(argv)
+    return _cmd_diff(args)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -28,7 +28,10 @@ Subcommands:
   second-opinion fusion model; ``serve --fusion FUSION.json`` attaches
   it to the per-request scoring path (``POST /check``, ``GET /fusion``);
 * ``bench-runtime`` — measure per-request vs batched vs cached
-  throughput of the online path.
+  throughput of the online path;
+* ``gauntlet``    — replay an accelerated production year against the
+  live serving stack (``run``) or render a saved replay artifact
+  (``report BENCH_gauntlet.json``).
 """
 
 from __future__ import annotations
@@ -325,6 +328,40 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--queue-capacity", type=int, default=4096)
     bench.add_argument(
         "--cache-entries", type=int, default=8192, help="0 disables the cache"
+    )
+
+    gauntlet = sub.add_parser(
+        "gauntlet",
+        help="adversarial co-evolution replay against the serving stack",
+    )
+    gauntlet_sub = gauntlet.add_subparsers(dest="gauntlet_command", required=True)
+    gauntlet_run = gauntlet_sub.add_parser(
+        "run", help="replay N virtual days and print the report"
+    )
+    gauntlet_run.add_argument("--days", type=int, default=185)
+    gauntlet_run.add_argument(
+        "--start", type=date.fromisoformat, default=date(2023, 5, 5)
+    )
+    gauntlet_run.add_argument("--seed", type=int, default=7)
+    gauntlet_run.add_argument("--sessions-per-day", type=int, default=420)
+    gauntlet_run.add_argument("--shards", type=int, default=2)
+    gauntlet_run.add_argument("--bootstrap-sessions", type=int, default=18_000)
+    gauntlet_run.add_argument(
+        "--drill-day",
+        type=int,
+        default=40,
+        help="day index of the chaos drill; negative disables it",
+    )
+    gauntlet_run.add_argument("--jobs", type=int, default=1)
+    gauntlet_run.add_argument(
+        "--output", default=None, help="write the bench-envelope JSON here"
+    )
+    gauntlet_report = gauntlet_sub.add_parser(
+        "report", help="render a saved gauntlet artifact"
+    )
+    gauntlet_report.add_argument("artifact", help="path to BENCH_gauntlet.json")
+    gauntlet_report.add_argument(
+        "--timeline", type=int, default=40, help="max event days to list"
     )
     return parser
 
@@ -904,6 +941,45 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gauntlet(args: argparse.Namespace) -> int:
+    from repro.gauntlet import DayLedger, GauntletConfig, run_gauntlet
+    from repro.gauntlet.report import (
+        render_report,
+        render_timeline,
+        write_gauntlet_json,
+    )
+
+    if args.gauntlet_command == "run":
+        config = GauntletConfig(
+            start=args.start,
+            days=args.days,
+            seed=args.seed,
+            sessions_per_day=args.sessions_per_day,
+            n_shards=args.shards,
+            bootstrap_sessions=args.bootstrap_sessions,
+            drill_day=args.drill_day if args.drill_day >= 0 else None,
+            jobs=args.jobs,
+        )
+        result = run_gauntlet(config)
+        print(render_report(result.ledger, result.adversary))
+        print()
+        print(render_timeline(result.ledger, limit=40))
+        if args.output:
+            write_gauntlet_json(result, args.output)
+            print(f"\nwrote {args.output}")
+        return 0
+
+    import json as _json
+
+    with open(args.artifact, "r", encoding="utf-8") as handle:
+        document = _json.load(handle)
+    ledger = DayLedger.from_cells(document["cells"])
+    print(render_report(ledger, document.get("adversary")))
+    print()
+    print(render_timeline(ledger, limit=args.timeline))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = sorted(_EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -931,6 +1007,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rollout": _cmd_rollout,
         "fuse": _cmd_fuse,
         "bench-runtime": _cmd_bench_runtime,
+        "gauntlet": _cmd_gauntlet,
     }
     try:
         return handlers[args.command](args)

@@ -98,13 +98,18 @@ class DriftDetector:
         dataset: Dataset,
         check_dates: Optional[Dict[str, date]] = None,
         min_sessions: int = 50,
+        check_date: Optional[date] = None,
     ) -> List[DriftRecord]:
         """Evaluate every release in ``dataset`` not in the trained table.
 
         ``check_dates`` optionally attaches the designated evaluation
-        date per ``ua_key`` (for Table 6 style reporting).  Releases
-        with fewer than ``min_sessions`` sessions are skipped: a couple
-        of straggler sessions cannot support a drift verdict (the paper
+        date per ``ua_key`` (for Table 6 style reporting); ``check_date``
+        is the fallback stamp for keys not in that map — callers running
+        under an explicit clock (the retraining orchestrator, the
+        gauntlet's virtual timeline) pass the evaluation day here so
+        records never carry an implicit "today".  Releases with fewer
+        than ``min_sessions`` sessions are skipped: a couple of
+        straggler sessions cannot support a drift verdict (the paper
         checks releases only once they carry real traffic).
         """
         records = []
@@ -115,7 +120,9 @@ class DriftDetector:
                 continue
             records.append(
                 self.evaluate_release(
-                    dataset, ua_key, (check_dates or {}).get(ua_key)
+                    dataset,
+                    ua_key,
+                    (check_dates or {}).get(ua_key, check_date),
                 )
             )
         return sorted(records, key=_record_order)

@@ -214,11 +214,12 @@ class BrowserPolygraph:
         dataset: Dataset,
         check_dates: Optional[Dict[str, date]] = None,
         min_sessions: int = 50,
+        check_date: Optional[date] = None,
     ) -> List[DriftRecord]:
         """Evaluate the new releases present in ``dataset`` (Table 6)."""
         self._require_fitted()
         return DriftDetector(self.cluster_model).evaluate_window(
-            dataset, check_dates, min_sessions=min_sessions
+            dataset, check_dates, min_sessions=min_sessions, check_date=check_date
         )
 
     def retrain_needed(self, records: Sequence[DriftRecord]) -> bool:

@@ -242,18 +242,31 @@ class RetrainingOrchestrator:
         self.current = polygraph
         return polygraph
 
-    def scheduled_check(self, live: Dataset, on: date) -> RetrainingOutcome:
-        """One Section 6.6 check: evaluate drift, retrain if triggered."""
+    def scheduled_check(
+        self, live: Dataset, on: date, force: bool = False
+    ) -> RetrainingOutcome:
+        """One Section 6.6 check: evaluate drift, retrain if triggered.
+
+        ``force`` retrains even when no release registers as drifted —
+        the flag-rate monitor's escalation path.  A sagging flag rate
+        with a clean drift report usually means the serving model's
+        cluster table has fallen behind the release calendar (its
+        unknown-UA blind spot is growing), which a window refresh fixes
+        without any cluster having moved.
+        """
         if self.current is None or self.window is None:
             raise RuntimeError("orchestrator not bootstrapped")
 
-        records = self.current.drift_report(live)
+        # The check's own date stamps every record: drift evaluation
+        # runs under the caller's clock (real or virtual), never an
+        # implicit today.
+        records = self.current.drift_report(live, check_date=on)
         drifted = [
             r.ua_key
             for r in records
             if r.retrain_needed(self.current.config.drift_accuracy_threshold)
         ]
-        if not drifted:
+        if not drifted and not force:
             outcome = RetrainingOutcome(
                 check_date=on,
                 drift_detected=False,
@@ -268,11 +281,11 @@ class RetrainingOrchestrator:
         if self.rollout is not None and self.rollout.in_flight:
             outcome = RetrainingOutcome(
                 check_date=on,
-                drift_detected=True,
+                drift_detected=bool(drifted),
                 retrained=False,
                 promoted=False,
                 accuracy=self.current.accuracy,
-                detail="drift detected but a rollout is in flight; deferred",
+                detail="retrain needed but a rollout is in flight; deferred",
             )
             self.history.append(outcome)
             return outcome
@@ -280,7 +293,11 @@ class RetrainingOrchestrator:
         extended = self._extend_window(live)
         candidate = BrowserPolygraph().fit(extended, jobs=self.jobs)
         verified, detail = self._verify_candidate(candidate, live, drifted)
-        reason = f"drift in {', '.join(sorted(drifted))}"
+        reason = (
+            f"drift in {', '.join(sorted(drifted))}"
+            if drifted
+            else "forced refresh (flag-rate alarm)"
+        )
         promoted = False
         staged_version: Optional[int] = None
         if verified and self.rollout is not None:
@@ -300,7 +317,7 @@ class RetrainingOrchestrator:
             promoted = True
         outcome = RetrainingOutcome(
             check_date=on,
-            drift_detected=True,
+            drift_detected=bool(drifted),
             retrained=True,
             promoted=promoted,
             accuracy=candidate.accuracy,

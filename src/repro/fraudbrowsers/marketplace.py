@@ -93,12 +93,31 @@ class Marketplace:
         self.inventory.sort(key=lambda p: p.harvested_on)
         return added
 
-    def buy(self, count: int) -> List[StolenProfile]:
-        """Sell ``count`` listings, oldest stock first (bulk discount)."""
+    def buy(
+        self,
+        count: int,
+        freshest: bool = False,
+        today: Optional[date] = None,
+    ) -> List[StolenProfile]:
+        """Sell ``count`` listings, oldest stock first (bulk discount).
+
+        ``freshest=True`` flips the order — buyers reacting to detection
+        pay a premium for recently harvested profiles.  ``today`` keeps
+        the marketplace causal: listings harvested after ``today`` are
+        not yet for sale (a gauntlet replaying a virtual timeline must
+        never sell tomorrow's loot).
+        """
         if count < 1:
             raise ValueError("count must be >= 1")
-        sold = self.inventory[:count]
-        self.inventory = self.inventory[count:]
+        if today is None:
+            eligible = list(self.inventory)
+        else:
+            eligible = [p for p in self.inventory if p.harvested_on <= today]
+        if freshest:
+            eligible = eligible[::-1]
+        sold = eligible[:count]
+        sold_ids = {id(p) for p in sold}
+        self.inventory = [p for p in self.inventory if id(p) not in sold_ids]
         self.sold_count += len(sold)
         return sold
 
@@ -123,6 +142,9 @@ class AttackSession:
     payload: FingerprintPayload
     victim: StolenProfile
     browser: str
+    # Shelf age of the stolen profile on the day of the attack; only
+    # known when the campaign ran with an explicit clock.
+    shelf_age_days: Optional[int] = None
 
 
 class AttackCampaign:
@@ -145,10 +167,18 @@ class AttackCampaign:
         Each bought profile becomes one login attempt: the fraud browser
         loads the victim's user-agent while exposing its own engine
         surface (per its Section 2.3 category).
+
+        ``today`` is the campaign's clock: the marketplace only sells
+        stock already harvested by then, session ids carry the date (so
+        a multi-day replay never collides), and each attack records the
+        profile's shelf age.  Without it the campaign is clockless — the
+        one-shot behaviour earlier PRs relied on.
         """
         if n_attacks < 1:
             raise ValueError("n_attacks must be >= 1")
-        purchases = self.marketplace.buy(min(n_attacks, self.marketplace.stock))
+        purchases = self.marketplace.buy(
+            min(n_attacks, self.marketplace.stock), today=today
+        )
         sessions: List[AttackSession] = []
         for index, stolen in enumerate(purchases):
             profile = FraudProfile(
@@ -161,14 +191,25 @@ class AttackCampaign:
             from repro.fraudbrowsers.namespace_probe import scan_environment
 
             hits = scan_environment(environment)
+            if today is None:
+                session_id = f"ato-{self.seed:02d}-{index:05d}"
+            else:
+                session_id = f"ato-{self.seed:02d}-{today:%Y%m%d}-{index:05d}"
             payload = FingerprintPayload(
-                session_id=f"ato-{self.seed:02d}-{index:05d}",
+                session_id=session_id,
                 user_agent=stolen.user_agent.raw,
                 values=tuple(int(v) for v in values),
                 service_time_ms=0.0,
                 suspicious_globals=tuple(h.global_name for h in hits),
             )
             sessions.append(
-                AttackSession(payload, stolen, self.browser.full_name)
+                AttackSession(
+                    payload,
+                    stolen,
+                    self.browser.full_name,
+                    shelf_age_days=(
+                        stolen.age_days(today) if today is not None else None
+                    ),
+                )
             )
         return sessions

@@ -1,0 +1,281 @@
+"""The co-evolving adversary.
+
+A frozen fraud mix would let any detector look immortal; real
+marketplaces react.  :class:`AdversaryDirector` runs the
+Genesis-style supply chain day by day — infostealers harvest a slice of
+each day's genuine traffic into the :class:`Marketplace`, campaigns buy
+stock and attack — and *adapts to the defender*:
+
+* every day it observes the flagged rate per fraud category (the same
+  feedback a fraud crew gets from failed logins);
+* when a category's detection EMA crosses the adapt threshold, the
+  director reacts the way the underground does — rotate Category-2
+  campaigns onto **newer spoof targets** (products bundling fresher
+  engines), switch purchasing to the **freshest stolen profiles**
+  (smaller UA gap to live traffic), and shift the category mix toward
+  whatever the defender currently misses.
+
+Everything is driven by one seeded RNG, so the whole co-evolution is a
+deterministic function of the gauntlet seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fraudbrowsers.base import Category, FraudProfile
+from repro.fraudbrowsers.catalog import FRAUD_BROWSERS
+from repro.fraudbrowsers.marketplace import Marketplace, StolenProfile
+from repro.traffic.dataset import Dataset
+from repro.traffic.generator import VectorFactory
+from repro.traffic.sessions import SessionKind
+from repro.traffic.tags import Persona
+
+__all__ = ["AdversaryConfig", "AdversaryDirector"]
+
+# Category-1 products (impossible fingerprints) in circulation.
+_CAT1_PRODUCTS = ("Linken Sphere-8.93", "ClonBrowser-4.6.6")
+_CAT3_PRODUCT = "AdsPower-5.4.20"
+
+
+@dataclass(frozen=True)
+class AdversaryConfig:
+    """Knobs of the adversary's behaviour and adaptation."""
+
+    attacks_per_day: int = 12
+    infection_rate: float = 0.025
+    # Flagged-rate EMA above which a category is considered "burned".
+    adapt_threshold: float = 0.6
+    ema_alpha: float = 0.25
+    # Verdicts a category needs before its EMA is trusted.
+    min_feedback: int = 10
+    # Days between adaptations (a crew does not re-tool nightly).
+    cooldown_days: int = 14
+    category_weights: Tuple[Tuple[int, float], ...] = (
+        (1, 0.25),
+        (2, 0.40),
+        (3, 0.20),
+        (4, 0.15),
+    )
+
+
+@dataclass
+class Adaptation:
+    """One recorded change of adversary behaviour."""
+
+    day: date
+    category: int
+    action: str
+
+
+class AdversaryDirector:
+    """Evolves marketplace fraud behaviour against detection feedback."""
+
+    def __init__(
+        self,
+        config: AdversaryConfig,
+        marketplace: Marketplace,
+        factory: VectorFactory,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.marketplace = marketplace
+        self.factory = factory
+        self.rng = np.random.default_rng(seed)
+        self.weights: Dict[int, float] = dict(config.category_weights)
+        self.detection_ema: Dict[int, float] = {c: 0.0 for c, _ in config.category_weights}
+        self.feedback_seen: Dict[int, int] = {c: 0 for c, _ in config.category_weights}
+        # Category-2 spoof targets, oldest bundled engine first: the
+        # crew starts on cheap old builds and buys newer ones only when
+        # detection forces the upgrade.
+        self.cat2_targets: List[str] = [
+            b.full_name
+            for b in sorted(
+                (
+                    b
+                    for b in FRAUD_BROWSERS
+                    if b.category is Category.FIXED_ENGINE
+                ),
+                key=lambda b: (b.engine_version, b.full_name),
+            )
+        ]
+        self.cat2_index = 0
+        self.buy_freshest = False
+        self.adaptations: List[Adaptation] = []
+        self._last_adaptation: Optional[date] = None
+        self._attack_counter = 0
+
+    # ------------------------------------------------------------------
+    # supply chain
+
+    def harvest(self, day_traffic: Dataset) -> int:
+        """Infostealers skim today's genuine sessions into inventory."""
+        return self.marketplace.harvest_from_traffic(
+            day_traffic, infection_rate=self.config.infection_rate
+        )
+
+    def attack_rows(self, day: date) -> List[dict]:
+        """Today's attack sessions as simulator-shaped rows.
+
+        Buys up to ``attacks_per_day`` profiles (oldest stock first
+        unless detection pushed the crew to fresher loot) and loads each
+        into a fraud browser chosen by the current category mix.
+        """
+        n = min(self.config.attacks_per_day, self.marketplace.stock)
+        if n < 1:
+            return []
+        purchases = self.marketplace.buy(
+            n, freshest=self.buy_freshest, today=day
+        )
+        rows = []
+        for stolen in purchases:
+            rows.append(self._attack_row(day, stolen))
+        return rows
+
+    def _attack_row(self, day: date, stolen: StolenProfile) -> dict:
+        category = self._pick_category()
+        claimed = stolen.user_agent
+        self._attack_counter += 1
+        profile_seed = int(self.rng.integers(2**31))
+        if category == 1:
+            product = _CAT1_PRODUCTS[
+                int(self.rng.integers(len(_CAT1_PRODUCTS)))
+            ]
+            vector = self.factory.fraud(
+                product, FraudProfile(product, claimed, profile_seed)
+            )
+            browser, persona = product, Persona.FRAUDSTER
+        elif category == 2:
+            product = self.cat2_targets[self.cat2_index]
+            vector = self.factory.fraud(
+                product, FraudProfile(product, claimed, profile_seed)
+            )
+            browser, persona = product, Persona.FRAUDSTER
+        elif category == 3:
+            product = _CAT3_PRODUCT
+            vector = self.factory.fraud(
+                product, FraudProfile(product, claimed, profile_seed)
+            )
+            browser, persona = product, Persona.STEALTH_FRAUDSTER
+        else:
+            # Category 4: a genuine browser replaying the stolen state.
+            vector = self.factory.legit(claimed.vendor, claimed.version, None)
+            browser, persona = "stolen-profile-replay", Persona.STEALTH_FRAUDSTER
+        return {
+            "day": day,
+            "vendor": claimed.vendor,
+            "version": claimed.version,
+            "vector": vector,
+            "persona": persona,
+            "kind": SessionKind.FRAUD,
+            "browser": browser,
+            "category": category,
+            "perturbation": "",
+        }
+
+    def _pick_category(self) -> int:
+        categories = sorted(self.weights)
+        total = sum(self.weights[c] for c in categories)
+        draw = float(self.rng.random()) * total
+        threshold = 0.0
+        for category in categories:
+            threshold += self.weights[category]
+            if draw < threshold:
+                return category
+        return categories[-1]
+
+    # ------------------------------------------------------------------
+    # feedback loop
+
+    def observe(
+        self, day: date, flagged_by_category: Dict[int, Tuple[int, int]]
+    ) -> List[Adaptation]:
+        """Fold one day of verdict feedback; maybe adapt.
+
+        ``flagged_by_category`` maps category -> (flagged, total) for
+        today's attack sessions.  Returns the adaptations made today.
+        """
+        alpha = self.config.ema_alpha
+        for category, (flagged, total) in flagged_by_category.items():
+            if total == 0 or category not in self.detection_ema:
+                continue
+            rate = flagged / total
+            seen = self.feedback_seen[category]
+            if seen == 0:
+                self.detection_ema[category] = rate
+            else:
+                self.detection_ema[category] = (
+                    alpha * rate + (1 - alpha) * self.detection_ema[category]
+                )
+            self.feedback_seen[category] = seen + total
+        if not self._cooldown_over(day):
+            return []
+        made: List[Adaptation] = []
+        hot = [
+            c
+            for c in sorted(self.detection_ema)
+            if self.feedback_seen[c] >= self.config.min_feedback
+            and self.detection_ema[c] >= self.config.adapt_threshold
+        ]
+        if not hot:
+            return []
+        # React to the most-detected category only; one re-tool per
+        # cooldown window.
+        category = max(hot, key=lambda c: self.detection_ema[c])
+        if category == 2 and self.cat2_index + 1 < len(self.cat2_targets):
+            self.cat2_index += 1
+            made.append(
+                Adaptation(
+                    day,
+                    2,
+                    f"rotate spoof target -> {self.cat2_targets[self.cat2_index]}",
+                )
+            )
+        if not self.buy_freshest:
+            self.buy_freshest = True
+            made.append(Adaptation(day, category, "buy freshest stolen profiles"))
+        made.append(self._shift_weight(day, category))
+        self.adaptations.extend(made)
+        self._last_adaptation = day
+        return made
+
+    def _shift_weight(self, day: date, category: int) -> Adaptation:
+        """Move a third of a burned category's share to the safest one."""
+        safest = min(
+            sorted(self.detection_ema),
+            key=lambda c: (self.detection_ema[c], c),
+        )
+        moved = self.weights[category] / 3.0
+        self.weights[category] -= moved
+        self.weights[safest] += moved
+        return Adaptation(
+            day,
+            category,
+            f"shift {moved:.2f} weight cat{category} -> cat{safest}",
+        )
+
+    def _cooldown_over(self, day: date) -> bool:
+        if self._last_adaptation is None:
+            return True
+        return (day - self._last_adaptation).days >= self.config.cooldown_days
+
+    # ------------------------------------------------------------------
+
+    def state_summary(self) -> dict:
+        """JSON-friendly snapshot for the ledger and reports."""
+        return {
+            "weights": {str(c): round(w, 4) for c, w in sorted(self.weights.items())},
+            "detection_ema": {
+                str(c): round(r, 4) for c, r in sorted(self.detection_ema.items())
+            },
+            "cat2_target": self.cat2_targets[self.cat2_index],
+            "buy_freshest": self.buy_freshest,
+            "adaptations": [
+                {"day": a.day.isoformat(), "category": a.category, "action": a.action}
+                for a in self.adaptations
+            ],
+        }

@@ -1,0 +1,517 @@
+"""The adversarial co-evolution gauntlet.
+
+An accelerated "production year": a :class:`VirtualClock` advances
+day by day through the release calendar while the *live serving stack*
+— sharded cluster, router, flag-rate monitor, drift scheduler,
+retraining orchestrator, shadow/canary rollout — runs exactly the code
+it runs everywhere else.  Each virtual day:
+
+1. releases due that day land in the traffic mix (the popularity model
+   samples *at the day*, so a release is served the day it ships);
+2. the :class:`~repro.gauntlet.adversary.AdversaryDirector` harvests
+   yesterday's genuine sessions, buys stolen profiles and attacks,
+   adapting its category mix and spoof targets to what the defender
+   flagged;
+3. every session is scored through the real
+   :class:`~repro.cluster.router.ClusterRouter`;
+4. the monitor and the Section 6.6 drift schedule decide whether the
+   :class:`~repro.core.retraining.RetrainingOrchestrator` runs, and any
+   staged candidate walks the shadow -> canary -> promote ramp through
+   the cluster-wide rollout binding (guardrail breaches roll back);
+5. one row lands in the :class:`~repro.gauntlet.ledger.DayLedger`.
+
+A scheduled **chaos drill** stages a deliberately broken candidate (a
+stale training window with the unknown-UA policy misflipped to
+``"flag"`` — the classic bad-config push) straight into canary and
+kills a shard the same day; the day-boundary guardrails must roll it
+back under churn.  The drill is part of the replay, so the acceptance
+bench proves the rollback path on every run.
+
+Everything here is a deterministic function of
+:class:`GauntletConfig` — identical configs produce bit-identical
+ledger digests (see ``benchmarks/bench_production_year.py``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, replace
+from datetime import date, timedelta
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.distribution import ModelDistributor
+from repro.cluster.router import ClusterRouter, RouterConfig
+from repro.cluster.supervisor import ClusterConfig, ShardSupervisor
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import BrowserPolygraph
+from repro.core.retraining import ModelRegistry, RetrainingOrchestrator
+from repro.fraudbrowsers.marketplace import Marketplace
+from repro.gauntlet.adversary import AdversaryConfig, AdversaryDirector
+from repro.gauntlet.clock import VirtualClock
+from repro.gauntlet.ledger import DayLedger
+from repro.gauntlet.rollout import ClusterRolloutBinding
+from repro.gauntlet.traffic import DayTrafficFactory
+from repro.rollout.config import GuardrailConfig, RolloutConfig
+from repro.runtime.stats import percentile
+from repro.service.monitoring import DriftScheduler, FlagRateMonitor
+from repro.traffic.dataset import Dataset
+from repro.traffic.generator import TrafficConfig, TrafficSimulator
+from repro.traffic.replay import iter_wire_payloads
+
+__all__ = ["GauntletConfig", "GauntletOrchestrator", "GauntletResult", "run_gauntlet"]
+
+
+@dataclass(frozen=True)
+class GauntletConfig:
+    """Everything the replay is a function of."""
+
+    # -- timeline ------------------------------------------------------
+    start: date = date(2023, 5, 5)
+    days: int = 185
+    seed: int = 7
+
+    # -- traffic -------------------------------------------------------
+    sessions_per_day: int = 420
+    brave_per_day: int = 2
+
+    # -- bootstrap window (trains model v1) ----------------------------
+    bootstrap_days: int = 120
+    bootstrap_sessions: int = 18_000
+    bootstrap_infection_rate: float = 0.01
+
+    # -- serving cluster -----------------------------------------------
+    n_shards: int = 2
+
+    # -- retraining ----------------------------------------------------
+    max_window_sessions: int = 30_000
+    # The gauntlet's live window carries a fraud prevalence several
+    # times the paper's training mix; majority-cluster accuracy prices
+    # those sessions in, so the floor sits below the clean-window 0.985.
+    accuracy_floor: float = 0.97
+    jobs: int = 1
+    drift_lag_days: int = 4
+
+    # -- flag-rate monitor ---------------------------------------------
+    monitor_window: int = 4_000
+    monitor_expected_rate: float = 0.02
+    monitor_tolerance: float = 4.0
+    monitor_min_observations: int = 1_500
+    alarm_cooldown_days: int = 7
+
+    # -- rollout ramp (sized for gauntlet traffic volumes) -------------
+    canary_stages: Tuple[float, ...] = (0.05, 0.25, 1.0)
+    shadow_sample_rate: float = 0.25
+    min_stage_verdicts: int = 25
+    min_comparisons: int = 80
+    max_disagreement_rate: float = 0.05
+    max_flag_rate_delta: float = 0.03
+
+    # -- chaos drill ---------------------------------------------------
+    drill_day: Optional[int] = 40  # day index; None disables the drill
+    drill_stale_rows: int = 2_000
+    drill_kill_shard: bool = True
+
+    # -- adversary -----------------------------------------------------
+    attacks_per_day: int = 12
+    infection_rate: float = 0.025
+
+    # -- storage -------------------------------------------------------
+    workdir: Optional[str] = None  # model registry root; tempdir if None
+
+    def end(self) -> date:
+        """First day *after* the replay window."""
+        return self.start + timedelta(days=self.days)
+
+
+@dataclass
+class GauntletResult:
+    """Everything a run produced."""
+
+    config: GauntletConfig
+    ledger: DayLedger
+    summary: dict
+    adversary: dict
+    rollout_events: List[Tuple[str, int, str]]
+    retraining: List[dict]
+    registry_versions: List[dict]
+
+
+def run_gauntlet(config: GauntletConfig) -> GauntletResult:
+    """Convenience entry: build an orchestrator and run it to the end."""
+    return GauntletOrchestrator(config).run()
+
+
+class GauntletOrchestrator:
+    """Owns the replay loop and every subsystem it drives."""
+
+    def __init__(self, config: GauntletConfig) -> None:
+        self.config = config
+        self.clock = VirtualClock(config.start)
+        self.factory = DayTrafficFactory()
+        self.marketplace = Marketplace(seed=config.seed)
+        self.adversary = AdversaryDirector(
+            AdversaryConfig(
+                attacks_per_day=config.attacks_per_day,
+                infection_rate=config.infection_rate,
+            ),
+            self.marketplace,
+            self.factory.factory,
+            seed=config.seed,
+        )
+        self.monitor = FlagRateMonitor(
+            window=config.monitor_window,
+            expected_rate=config.monitor_expected_rate,
+            tolerance_factor=config.monitor_tolerance,
+            min_observations=config.monitor_min_observations,
+        )
+        self.scheduler = DriftScheduler(
+            calendar=self.factory.calendar, lag_days=config.drift_lag_days
+        )
+        self.ledger = DayLedger()
+
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        self.registry: Optional[ModelRegistry] = None
+        self.retrainer: Optional[RetrainingOrchestrator] = None
+        self.supervisor: Optional[ShardSupervisor] = None
+        self.router: Optional[ClusterRouter] = None
+        self.binding: Optional[ClusterRolloutBinding] = None
+        self._bootstrap_train: Optional[Dataset] = None
+        self._since_check: List[Dataset] = []
+        self._deferred_check = False
+        self._deferred_force = False
+        self._last_alarm_check: Optional[date] = None
+        self._drill_done = False
+        self._prev_failovers = 0
+        self._prev_restarts = 0
+
+    # ------------------------------------------------------------------
+    # setup
+
+    def _workdir(self) -> Path:
+        if self.config.workdir is not None:
+            path = Path(self.config.workdir)
+            path.mkdir(parents=True, exist_ok=True)
+            return path
+        self._tmp = tempfile.TemporaryDirectory(prefix="gauntlet-")
+        return Path(self._tmp.name)
+
+    def bootstrap(self) -> None:
+        """Train v1 on the pre-replay window and raise the cluster."""
+        cfg = self.config
+        window = TrafficConfig().scaled(cfg.bootstrap_sessions)
+        window = replace(
+            window,
+            start=cfg.start - timedelta(days=cfg.bootstrap_days),
+            end=cfg.start,
+            seed=cfg.seed,
+        )
+        simulator = TrafficSimulator(
+            window,
+            model=self.factory.model,
+            calendar=self.factory.calendar,
+            tag_model=self.factory.tag_model,
+        )
+        train = simulator.generate()
+        self._bootstrap_train = train
+
+        self.registry = ModelRegistry(self._workdir())
+        self.retrainer = RetrainingOrchestrator(
+            self.registry,
+            accuracy_floor=cfg.accuracy_floor,
+            max_window_sessions=cfg.max_window_sessions,
+            jobs=cfg.jobs,
+        )
+        self.retrainer.bootstrap(train, on=cfg.start)
+
+        # The heartbeat interval is pushed out past any single day's
+        # scoring: shard recovery runs synchronously at day boundaries
+        # (`_recover`), never mid-day — a restart racing the scoring
+        # loop would make the served-arm session set timing-dependent.
+        self.supervisor = ShardSupervisor.from_registry(
+            self.registry,
+            config=ClusterConfig(
+                n_shards=cfg.n_shards,
+                backend="thread",
+                heartbeat_interval_s=3600.0,
+            ),
+        )
+        self.router = ClusterRouter(
+            self.supervisor, RouterConfig(affinity="session")
+        ).start()
+        distributor = ModelDistributor(self.supervisor, self.registry)
+        self.binding = ClusterRolloutBinding(
+            self.registry,
+            self.supervisor,
+            clock=self.clock.time,
+            config=RolloutConfig(
+                stages=cfg.canary_stages,
+                shadow_sample_rate=cfg.shadow_sample_rate,
+                min_stage_verdicts=cfg.min_stage_verdicts,
+            ),
+            guardrails=GuardrailConfig(
+                max_disagreement_rate=cfg.max_disagreement_rate,
+                max_flag_rate_delta=cfg.max_flag_rate_delta,
+                min_comparisons=cfg.min_comparisons,
+            ),
+            seed=cfg.seed,
+            distributor=distributor,
+        )
+        self.retrainer.rollout = self.binding
+
+        # Pre-replay infections: the marketplace opens with aged stock
+        # harvested from the bootstrap window, so shelf age matters from
+        # day one.
+        legit = train.subset(~train.is_fraud())
+        self.marketplace.harvest_from_traffic(
+            legit, infection_rate=self.config.bootstrap_infection_rate
+        )
+
+    # ------------------------------------------------------------------
+    # the day loop
+
+    def run(self) -> GauntletResult:
+        """Replay every configured day; always tears the cluster down."""
+        self.bootstrap()
+        planned = {
+            plan.check_date: plan
+            for plan in self.scheduler.plan(self.config.start, self.config.end())
+        }
+        try:
+            for index in range(self.config.days):
+                self._run_day(index, planned)
+                self.clock.advance()
+        finally:
+            self.shutdown()
+        return GauntletResult(
+            config=self.config,
+            ledger=self.ledger,
+            summary=self.ledger.summary(),
+            adversary=self.adversary.state_summary(),
+            rollout_events=list(self.binding.events),
+            retraining=[
+                {
+                    "check_date": o.check_date.isoformat(),
+                    "drift_detected": o.drift_detected,
+                    "retrained": o.retrained,
+                    "promoted": o.promoted,
+                    "staged_version": o.staged_version,
+                    "detail": o.detail,
+                }
+                for o in self.retrainer.history
+            ],
+            registry_versions=self.registry.versions(),
+        )
+
+    def _run_day(self, index: int, planned: Dict[date, object]) -> None:
+        cfg = self.config
+        day = self.clock.today
+        rng = np.random.default_rng([cfg.seed, index])
+        new_keys = self.factory.new_release_keys(day, day + timedelta(days=1))
+
+        drilled = self._maybe_drill(index, day)
+
+        # -- traffic ---------------------------------------------------
+        rows = self.factory.legit_rows(
+            day, cfg.sessions_per_day, rng, brave=cfg.brave_per_day
+        )
+        rows.extend(self.adversary.attack_rows(day))
+        dataset = self.factory.assemble(
+            rows, rng, sid_prefix=f"g{cfg.seed}-d{index:03d}"
+        )
+
+        # -- scoring through the live cluster --------------------------
+        wires = list(iter_wire_payloads(dataset))
+        verdicts = self.router.score_many(wires)
+        flags = np.array(
+            [v.accepted and v.flagged for v in verdicts], dtype=bool
+        )
+        latencies = [v.latency_ms for v in verdicts if v.accepted]
+        for flagged in flags:
+            self.monitor.observe(bool(flagged))
+
+        # -- detection tallies and adversary feedback ------------------
+        categories = dataset.truth_category
+        fraud_counts = {c: int((categories == c).sum()) for c in (1, 2, 3, 4)}
+        flagged_counts = {
+            c: int(flags[categories == c].sum()) for c in (1, 2, 3, 4)
+        }
+        legit_mask = categories == 0
+        self.adversary.observe(
+            day,
+            {c: (flagged_counts[c], fraud_counts[c]) for c in (1, 2, 3, 4)},
+        )
+        adaptations_today = sum(
+            1 for a in self.adversary.adaptations if a.day == day
+        )
+        self.adversary.harvest(dataset.subset(legit_mask))
+
+        # -- drift checks (scheduled, alarm-forced, deferred retry) ----
+        self._since_check.append(dataset)
+        outcome = self._maybe_check(day, planned)
+
+        # -- rollout day boundary --------------------------------------
+        self.binding.note_traffic(
+            str(sid) for sid in dataset.session_ids
+        )
+        event = self.binding.day_step()
+        self._recover()
+
+        failovers = self.router.failovers_total
+        restarts = sum(
+            self.supervisor.restarts(sid) for sid in self.supervisor.shards
+        )
+        state = self.binding.state
+        in_flight = state is not None and state.in_flight
+        self.ledger.record(
+            day=day.isoformat(),
+            new_releases=len(new_keys),
+            new_release_keys=list(new_keys),
+            n_sessions=len(dataset),
+            n_legit=int(legit_mask.sum()),
+            n_fraud=int((~legit_mask).sum()),
+            fraud_cat1=fraud_counts[1],
+            fraud_cat2=fraud_counts[2],
+            fraud_cat3=fraud_counts[3],
+            fraud_cat4=fraud_counts[4],
+            flagged_legit=int(flags[legit_mask].sum()),
+            flagged_cat1=flagged_counts[1],
+            flagged_cat2=flagged_counts[2],
+            flagged_cat3=flagged_counts[3],
+            flagged_cat4=flagged_counts[4],
+            monitor_alarm=bool(self.monitor.alarm),
+            drift_checked=int(outcome is not None),
+            drift_detected=int(outcome.drift_detected if outcome else 0),
+            retrained=int(outcome.retrained if outcome else 0),
+            staged_version=(outcome.staged_version if outcome else None)
+            or (self._drill_version if drilled else None),
+            promotions=int(event.action == "promote"),
+            rollbacks=int(event.action == "rollback"),
+            rollout_status=state.status if state is not None else None,
+            rollout_stage=state.stage_index if in_flight else None,
+            serving_version=self.supervisor.serving_version,
+            marketplace_stock=self.marketplace.stock,
+            stock_age_days=round(self.marketplace.average_age_days(day), 2),
+            adaptations=adaptations_today,
+            p50_ms=round(percentile(latencies, 50), 3),
+            p99_ms=round(percentile(latencies, 99), 3),
+            failovers=failovers - self._prev_failovers,
+            shard_restarts=restarts - self._prev_restarts,
+            breach=event.breach.name if event.breach is not None else None,
+        )
+        self._prev_failovers = failovers
+        self._prev_restarts = restarts
+
+    # ------------------------------------------------------------------
+    # drift checks
+
+    def _maybe_check(self, day: date, planned: Dict[date, object]):
+        """Run a retraining check if today warrants one."""
+        due = day in planned
+        alarm = (
+            self.monitor.alarm
+            and (
+                self._last_alarm_check is None
+                or (day - self._last_alarm_check).days
+                >= self.config.alarm_cooldown_days
+            )
+        )
+        retry = self._deferred_check and not self.binding.in_flight
+        if not (due or alarm or retry):
+            return None
+        # An alarm with a clean drift report still forces a window
+        # refresh: the monitor is the only signal that catches the
+        # model's unknown-UA blind spot growing between drift episodes.
+        force = alarm or (retry and self._deferred_force)
+        live = Dataset.concatenate(self._since_check)
+        outcome = self.retrainer.scheduled_check(live, on=day, force=force)
+        if alarm:
+            self._last_alarm_check = day
+        deferred = (
+            outcome.drift_detected or force
+        ) and not outcome.retrained
+        self._deferred_check = deferred
+        self._deferred_force = deferred and force
+        if not deferred:
+            self._since_check = []
+        return outcome
+
+    # ------------------------------------------------------------------
+    # the chaos drill
+
+    _drill_version: Optional[int] = None
+
+    def _maybe_drill(self, index: int, day: date) -> bool:
+        """Stage the bad-config candidate into canary; kill a shard.
+
+        The candidate is trained on a stale slice of the bootstrap
+        window with ``unknown_ua_policy="flag"`` — it flags every
+        release that shipped since, so the day-boundary disagreement
+        guardrail must catch it.  Killing a second shard the same day
+        proves the rollback verdicts survive mid-ramp churn.
+        """
+        cfg = self.config
+        if (
+            cfg.drill_day is None
+            or self._drill_done
+            or index < cfg.drill_day
+            or self.binding.in_flight
+        ):
+            return False
+        stale = self._bootstrap_train.rows(
+            0, min(len(self._bootstrap_train), cfg.drill_stale_rows)
+        )
+        candidate = BrowserPolygraph(
+            config=PipelineConfig(unknown_ua_policy="flag")
+        ).fit(stale, jobs=cfg.jobs)
+        version = self.registry.stage_candidate(
+            candidate, day, "chaos drill: stale window, unknown-ua misconfig"
+        )
+        self._drill_version = version
+        self.binding.begin(candidate, version)
+        self.binding.force_advance()  # shadow -> canary stage 0
+        if cfg.drill_kill_shard and cfg.n_shards > 1:
+            victim = sorted(self.supervisor.shards)[-1]
+            self.supervisor.kill(victim)
+        self._drill_done = True
+        return True
+
+    # ------------------------------------------------------------------
+    # recovery and teardown
+
+    def _recover(self, max_sweeps: int = 10) -> None:
+        """Synchronously restart dead shards, then re-sync arm routing."""
+        def all_up() -> bool:
+            return (
+                self.supervisor.healthy_count == len(self.supervisor.shards)
+                and all(
+                    shard.service is not None
+                    for shard in self.supervisor.shards.values()
+                )
+            )
+
+        if all_up():
+            return
+        for _ in range(max_sweeps):
+            self.supervisor.check_once()
+            if all_up():
+                break
+        else:
+            raise RuntimeError("cluster failed to recover after chaos drill")
+        self.binding.rebind()
+
+    def shutdown(self) -> None:
+        """Tear everything down (idempotent)."""
+        if self.binding is not None:
+            self.binding.close()
+        if self.router is not None:
+            self.router.shutdown(drain=True)
+            self.router = None
+        elif self.supervisor is not None:
+            self.supervisor.shutdown(drain=True)
+        self.supervisor = None
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None

@@ -1,0 +1,175 @@
+"""Per-day traffic generation for the gauntlet.
+
+The one-shot :class:`~repro.traffic.generator.TrafficSimulator` builds
+a whole window at once; the gauntlet needs one day at a time so that
+releases land in the mix the day they ship and the adversary can react
+to yesterday's verdicts.  :class:`DayTrafficFactory` samples the
+popularity mix *at the day itself* (no weekly bucketing — a release is
+visible in traffic the day after :meth:`ReleaseCalendar.release` says
+it shipped) and shares one :class:`VectorFactory` cache across the
+whole replay, so a 185-day run pays fingerprint-collection cost only
+when the simulated universe changes.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.browsers.configs import BENIGN_PERTURBATIONS, Perturbation
+from repro.browsers.releases import ReleaseCalendar, default_calendar
+from repro.browsers.useragent import Vendor, format_user_agent
+from repro.fingerprint.features import FEATURE_SPECS, FeatureSpec
+from repro.jsengine.evolution import EvolutionModel, default_model
+from repro.traffic.dataset import Dataset
+from repro.traffic.generator import VectorFactory, choose_perturbation
+from repro.traffic.popularity import PopularityModel
+from repro.traffic.sessions import SessionKind
+from repro.traffic.tags import Persona, TagModel
+
+__all__ = ["DayTrafficFactory", "assemble_rows"]
+
+
+def assemble_rows(
+    rows: List[dict],
+    rng: np.random.Generator,
+    specs: Sequence[FeatureSpec],
+    tag_model: TagModel,
+    sid_prefix: str,
+) -> Dataset:
+    """Materialize row dicts (simulator shape) into a :class:`Dataset`.
+
+    Mirrors ``TrafficSimulator._assemble`` but with caller-controlled
+    session-id prefixes so a replay never collides across days.
+    """
+    n = len(rows)
+    features = np.vstack([row["vector"] for row in rows]).astype(np.int32)
+    ua_keys = np.array(
+        [f"{row['vendor'].value}-{row['version']}" for row in rows],
+        dtype=object,
+    )
+    user_agents = np.array(
+        [format_user_agent(row["vendor"], row["version"]) for row in rows],
+        dtype=object,
+    )
+    session_ids = np.array(
+        [f"{sid_prefix}-{i:06d}" for i in range(n)], dtype=object
+    )
+    days = np.array([row["day"] for row in rows], dtype="datetime64[D]")
+    personas = tuple(row["persona"] for row in rows)
+    ip, cookie, ato = tag_model.sample_many(personas, rng)
+    epoch_seconds = days.astype("datetime64[s]").astype(np.int64)
+    timestamps = epoch_seconds.astype(np.float64) + rng.uniform(
+        0.0, 86_400.0, size=n
+    )
+    return Dataset(
+        features=features,
+        ua_keys=ua_keys,
+        user_agents=user_agents,
+        session_ids=session_ids,
+        days=days,
+        untrusted_ip=ip,
+        untrusted_cookie=cookie,
+        ato=ato,
+        truth_kind=np.array([row["kind"].value for row in rows], dtype=object),
+        truth_browser=np.array([row["browser"] for row in rows], dtype=object),
+        truth_category=np.array(
+            [row["category"] for row in rows], dtype=np.int8
+        ),
+        truth_perturbation=np.array(
+            [row["perturbation"] for row in rows], dtype=object
+        ),
+        feature_names=[spec.name for spec in specs],
+        timestamps=timestamps,
+    )
+
+
+class DayTrafficFactory:
+    """Generates one virtual day of benign traffic at a time."""
+
+    def __init__(
+        self,
+        calendar: Optional[ReleaseCalendar] = None,
+        specs: Sequence[FeatureSpec] = FEATURE_SPECS,
+        model: Optional[EvolutionModel] = None,
+        tag_model: Optional[TagModel] = None,
+        perturbations: Sequence[Perturbation] = BENIGN_PERTURBATIONS,
+    ) -> None:
+        self.calendar = calendar if calendar is not None else default_calendar()
+        self.specs = tuple(specs)
+        self.model = model if model is not None else default_model()
+        self.tag_model = tag_model if tag_model is not None else TagModel()
+        self.perturbations = tuple(perturbations)
+        self.popularity = PopularityModel(self.calendar)
+        # One shared cache for the whole replay — the adversary reuses
+        # it too, so spoofed and genuine vectors come from the same
+        # collection path.
+        self.factory = VectorFactory(self.specs, self.model)
+
+    # ------------------------------------------------------------------
+
+    def legit_rows(
+        self,
+        day: date,
+        count: int,
+        rng: np.random.Generator,
+        brave: int = 0,
+    ) -> List[dict]:
+        """``count`` genuine sessions (plus ``brave`` derivative ones)."""
+        picks = self.popularity.sample(day, count, rng)
+        rows: List[dict] = []
+        for vendor, version in picks:
+            perturbation = choose_perturbation(
+                rng, vendor, version, self.perturbations
+            )
+            persona = (
+                Persona.PRIVACY if perturbation is not None else Persona.ORDINARY
+            )
+            rows.append(
+                {
+                    "day": day,
+                    "vendor": vendor,
+                    "version": version,
+                    "vector": self.factory.legit(vendor, version, perturbation),
+                    "persona": persona,
+                    "kind": SessionKind.LEGIT,
+                    "browser": vendor.value,
+                    "category": 0,
+                    "perturbation": perturbation.name if perturbation else "",
+                }
+            )
+        for _ in range(brave):
+            chrome = self.calendar.latest_before(Vendor.CHROME, day)
+            version = chrome.version - int(rng.random() < 0.3)
+            rows.append(
+                {
+                    "day": day,
+                    "vendor": Vendor.CHROME,
+                    "version": version,
+                    "vector": self.factory.brave(version),
+                    "persona": Persona.PRIVACY,
+                    "kind": SessionKind.DERIVATIVE,
+                    "browser": "brave",
+                    "category": 0,
+                    "perturbation": "brave-shields",
+                }
+            )
+        return rows
+
+    def assemble(
+        self, rows: List[dict], rng: np.random.Generator, sid_prefix: str
+    ) -> Dataset:
+        """Shuffle and materialize one day's rows."""
+        order = rng.permutation(len(rows))
+        return assemble_rows(
+            [rows[i] for i in order], rng, self.specs, self.tag_model, sid_prefix
+        )
+
+    def new_release_keys(self, since: date, until: date) -> List[str]:
+        """ua_keys of releases shipping in ``[since, until)``."""
+        return sorted(
+            release.key()
+            for release in self.calendar.new_releases_between(since, until)
+        )

@@ -40,7 +40,12 @@ from repro.traffic.popularity import PopularityModel
 from repro.traffic.sessions import SessionKind
 from repro.traffic.tags import Persona, TagModel
 
-__all__ = ["TrafficConfig", "TrafficSimulator"]
+__all__ = [
+    "TrafficConfig",
+    "TrafficSimulator",
+    "VectorFactory",
+    "choose_perturbation",
+]
 
 _WEEK = timedelta(days=7)
 
@@ -104,8 +109,15 @@ class TrafficConfig:
         )
 
 
-class _VectorFactory:
-    """Feature vectors per (vendor, version, perturbation), cached."""
+class VectorFactory:
+    """Feature vectors per (vendor, version, perturbation), cached.
+
+    Shared by the one-shot simulator and the gauntlet's per-day
+    generator: every distinct combination is collected once from a real
+    simulated :class:`JSEnvironment` and broadcast to matching rows, so
+    a multi-month replay pays collection cost only when the universe
+    actually changes (a new release, a new spoof target).
+    """
 
     def __init__(
         self, specs: Sequence[FeatureSpec], model: EvolutionModel
@@ -156,6 +168,29 @@ class _VectorFactory:
         return vector
 
 
+# Back-compat alias (pre-gauntlet name).
+_VectorFactory = VectorFactory
+
+
+def choose_perturbation(
+    rng: np.random.Generator,
+    vendor: Vendor,
+    version: int,
+    perturbations: Sequence[Perturbation] = BENIGN_PERTURBATIONS,
+) -> Optional[Perturbation]:
+    """Draw one benign perturbation (or none) for a legit session."""
+    engine = engine_for_vendor(vendor, version)
+    draw = float(rng.random())
+    threshold = 0.0
+    for perturbation in perturbations:
+        if not perturbation.applies_to(engine, version, vendor):
+            continue
+        threshold += perturbation.probability
+        if draw < threshold:
+            return perturbation
+    return None
+
+
 class TrafficSimulator:
     """Generates FinOrg-shaped datasets from the simulated universe."""
 
@@ -177,7 +212,7 @@ class TrafficSimulator:
         self.popularity = PopularityModel(self.calendar)
         self.tag_model = tag_model if tag_model is not None else TagModel()
         self.perturbations = tuple(perturbations)
-        self._factory = _VectorFactory(self.specs, self.model)
+        self._factory = VectorFactory(self.specs, self.model)
 
     # ------------------------------------------------------------------
 
@@ -240,16 +275,7 @@ class TrafficSimulator:
     def _choose_perturbation(
         self, rng: np.random.Generator, vendor: Vendor, version: int
     ) -> Optional[Perturbation]:
-        engine = engine_for_vendor(vendor, version)
-        draw = float(rng.random())
-        threshold = 0.0
-        for perturbation in self.perturbations:
-            if not perturbation.applies_to(engine, version, vendor):
-                continue
-            threshold += perturbation.probability
-            if draw < threshold:
-                return perturbation
-        return None
+        return choose_perturbation(rng, vendor, version, self.perturbations)
 
     def _legit_rows(
         self, rng: np.random.Generator, days: Sequence[date]

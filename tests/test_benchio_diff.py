@@ -1,0 +1,89 @@
+"""Bench artifact diff tool tests (``python -m repro.analysis.benchio``)."""
+
+import pytest
+
+from repro.analysis.benchio import (
+    diff_bench_documents,
+    main,
+    read_bench_json,
+    write_bench_json,
+)
+
+
+def _doc(tmp_path, name, wires_per_s, flag_rate, filename):
+    path = tmp_path / filename
+    write_bench_json(
+        path,
+        benchmark=name,
+        config={"seed": 7},
+        cells=[
+            {
+                "cell": "full",
+                "wires_per_s": wires_per_s,
+                "flag_rate": flag_rate,
+                "deterministic": True,
+            }
+        ],
+    )
+    return path
+
+
+class TestDiffDocuments:
+    def test_within_tolerance_has_no_regressions(self, tmp_path):
+        old = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.02, "old.json"))
+        new = read_bench_json(_doc(tmp_path, "b", 950.0, 0.02, "new.json"))
+        result = diff_bench_documents(old, new, max_regress=0.15)
+        assert result["regressions"] == []
+
+    def test_throughput_drop_is_a_regression(self, tmp_path):
+        old = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.02, "old.json"))
+        new = read_bench_json(_doc(tmp_path, "b", 700.0, 0.02, "new.json"))
+        result = diff_bench_documents(old, new, max_regress=0.15)
+        assert len(result["regressions"]) == 1
+        assert result["regressions"][0].startswith("full.wires_per_s:")
+
+    def test_non_throughput_metrics_never_gate(self, tmp_path):
+        # flag_rate halving is a big relative change but not a
+        # throughput metric, so it must not gate.
+        old = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.04, "old.json"))
+        new = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.02, "new.json"))
+        result = diff_bench_documents(old, new, max_regress=0.15)
+        assert result["regressions"] == []
+
+    def test_improvement_is_not_a_regression(self, tmp_path):
+        old = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.02, "old.json"))
+        new = read_bench_json(_doc(tmp_path, "b", 1500.0, 0.02, "new.json"))
+        result = diff_bench_documents(old, new, max_regress=0.15)
+        assert result["regressions"] == []
+
+    def test_bools_are_not_compared_numerically(self, tmp_path):
+        old = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.02, "old.json"))
+        new = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.02, "new.json"))
+        result = diff_bench_documents(old, new)
+        metrics = {metric for _, metric, *_ in result["rows"]}
+        assert "deterministic" not in metrics
+
+
+class TestDiffCli:
+    def test_exit_zero_within_tolerance(self, tmp_path, capsys):
+        old = _doc(tmp_path, "b", 1000.0, 0.02, "old.json")
+        new = _doc(tmp_path, "b", 990.0, 0.02, "new.json")
+        assert main(["diff", str(old), str(new)]) == 0
+        assert "wires_per_s" not in capsys.readouterr().err
+
+    def test_exit_nonzero_on_throughput_regression(self, tmp_path, capsys):
+        old = _doc(tmp_path, "b", 1000.0, 0.02, "old.json")
+        new = _doc(tmp_path, "b", 700.0, 0.02, "new.json")
+        assert main(["diff", str(old), str(new), "--max-regress", "0.15"]) == 1
+        captured = capsys.readouterr()
+        assert "wires_per_s" in captured.out + captured.err
+
+    def test_max_regress_is_tunable(self, tmp_path):
+        old = _doc(tmp_path, "b", 1000.0, 0.02, "old.json")
+        new = _doc(tmp_path, "b", 700.0, 0.02, "new.json")
+        assert main(["diff", str(old), str(new), "--max-regress", "0.5"]) == 0
+
+    def test_mismatched_benchmarks_rejected(self, tmp_path):
+        old = _doc(tmp_path, "alpha", 1000.0, 0.02, "old.json")
+        new = _doc(tmp_path, "beta", 1000.0, 0.02, "new.json")
+        assert main(["diff", str(old), str(new)]) == 2

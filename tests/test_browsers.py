@@ -1,6 +1,6 @@
 """User-agent, release calendar, configs, derivatives, profile tests."""
 
-from datetime import date
+from datetime import date, timedelta
 
 import pytest
 
@@ -135,11 +135,57 @@ class TestReleaseCalendar:
         keys = {r.key() for r in fresh}
         assert "firefox-119" in keys and "chrome-119" in keys
 
+    def test_new_releases_between_includes_start_day(self, calendar):
+        # [start, end): a release shipping exactly on `start` is in
+        # the window — the gauntlet relies on this to land releases in
+        # traffic the day they ship, not a day late.
+        ship = calendar.release(Vendor.CHROME, 118).released
+        keys = {
+            r.key()
+            for r in calendar.new_releases_between(ship, ship + timedelta(days=1))
+        }
+        assert "chrome-118" in keys
+
+    def test_new_releases_between_excludes_end_day(self, calendar):
+        ship = calendar.release(Vendor.CHROME, 118).released
+        before = calendar.new_releases_between(ship - timedelta(days=1), ship)
+        assert "chrome-118" not in {r.key() for r in before}
+
+    def test_new_releases_between_empty_window(self, calendar):
+        ship = calendar.release(Vendor.CHROME, 118).released
+        assert calendar.new_releases_between(ship, ship) == []
+
+    def test_latest_before_excludes_same_day_release(self, calendar):
+        # "Before" is strict: on the ship day itself the previous
+        # version is still the latest.
+        ship = calendar.release(Vendor.CHROME, 118).released
+        assert calendar.latest_before(Vendor.CHROME, ship).version == 117
+        after = calendar.latest_before(Vendor.CHROME, ship + timedelta(days=1))
+        assert after.version == 118
+
+    def test_latest_before_first_release_boundary(self, calendar):
+        # The day after the oldest release is the earliest queryable
+        # cutoff; the release's own ship day still has no history.
+        oldest = calendar.released_before(Vendor.CHROME, date(2024, 6, 1))[0]
+        earliest = calendar.latest_before(
+            Vendor.CHROME, oldest.released + timedelta(days=1)
+        )
+        assert earliest.version == oldest.version
+        with pytest.raises(KeyError):
+            calendar.latest_before(Vendor.CHROME, oldest.released)
+
     def test_engine_for_vendor(self):
         assert engine_for_vendor(Vendor.CHROME, 100) is Engine.CHROMIUM
         assert engine_for_vendor(Vendor.EDGE, 100) is Engine.CHROMIUM
         assert engine_for_vendor(Vendor.EDGE, 18) is Engine.EDGEHTML
         assert engine_for_vendor(Vendor.FIREFOX, 100) is Engine.GECKO
+
+    def test_engine_for_vendor_edge_transition(self):
+        # Edge moved to Chromium at 79: 78 is the last EdgeHTML build.
+        assert engine_for_vendor(Vendor.EDGE, 78) is Engine.EDGEHTML
+        assert engine_for_vendor(Vendor.EDGE, 79) is Engine.CHROMIUM
+        assert engine_for_vendor(Vendor.FIREFOX, 1) is Engine.GECKO
+        assert engine_for_vendor(Vendor.CHROME, 1) is Engine.CHROMIUM
 
     def test_out_of_scope_release_rejected(self, calendar):
         with pytest.raises(KeyError):

@@ -1,0 +1,53 @@
+"""Wall-clock discipline: no implicit "today" inside ``src/repro``.
+
+The gauntlet replays a virtual timeline; one stray ``date.today()`` in
+a scoring, drift, or marketplace path would silently couple a replay to
+the machine's clock and break bit-determinism.  This lint-style test
+greps the source tree for bare wall-clock reads and fails on any hit
+outside the sanctioned wrappers.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+# Files allowed to read the wall clock: the virtual-clock module itself
+# is the sanctioned wrapper (it documents why it never needs to).
+SANCTIONED = {
+    SRC / "gauntlet" / "clock.py",
+}
+
+# Bare calendar-clock reads.  time.time()/perf_counter() are fine: they
+# feed latency accounting, never verdict or calendar logic.
+FORBIDDEN = re.compile(
+    r"\bdate\.today\(\)"
+    r"|\bdatetime\.now\(\)"
+    r"|\bdatetime\.today\(\)"
+    r"|\bdatetime\.utcnow\(\)"
+)
+
+
+def test_no_bare_wallclock_reads() -> None:
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in SANCTIONED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            stripped = line.split("#", 1)[0]
+            if FORBIDDEN.search(stripped):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "bare wall-clock reads found (thread an explicit date instead):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_sanctioned_wrapper_exists() -> None:
+    # The allowlist should not rot: every sanctioned path must exist.
+    for path in SANCTIONED:
+        assert path.exists(), f"sanctioned wrapper missing: {path}"
