@@ -204,6 +204,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "fingerprint bytes (partitions the verdict-cache key space)",
     )
     serve.add_argument(
+        "--transport",
+        choices=["shm", "pickle"],
+        default="shm",
+        help="process-shard transport: zero-copy shared-memory feature "
+        "rings (shm) or pickled wires over the control pipe (pickle); "
+        "ignored for thread shards",
+    )
+    serve.add_argument(
+        "--ring-slots",
+        type=int,
+        default=4096,
+        help="slots per shard in the shared-memory feature ring "
+        "(shm transport only)",
+    )
+    serve.add_argument(
+        "--ingest",
+        choices=["sync", "async"],
+        default="sync",
+        help="HTTP front end: one-request-per-thread WSGI (sync) or the "
+        "pipelined asyncio server with batch coalescing and read-side "
+        "backpressure (async)",
+    )
+    serve.add_argument(
         "--hedge-ms",
         type=float,
         default=None,
@@ -215,8 +238,9 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="enable event-stream session scoring (POST /event, "
-        "GET /session/{id}) with this idle TTL in seconds "
-        "(single-process modes only)",
+        "GET /session/{id}) with this idle TTL in seconds; behind "
+        "--shards, session state partitions into per-shard lanes "
+        "(requires --affinity session)",
     )
     serve.add_argument(
         "--session-max",
@@ -534,7 +558,12 @@ def _build_cluster(args: argparse.Namespace, registry):
         ShardSupervisor,
     )
 
-    config = ClusterConfig(n_shards=args.shards, backend=args.shard_backend)
+    config = ClusterConfig(
+        n_shards=args.shards,
+        backend=args.shard_backend,
+        transport=args.transport,
+        ring_slots=args.ring_slots,
+    )
     runtime_config = _runtime_config(args)
     if registry is not None:
         supervisor = ShardSupervisor.from_registry(
@@ -621,17 +650,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     managers = []
     if args.shards:
-        if args.session_ttl is not None:
+        if args.session_ttl is not None and args.affinity != "session":
             print(
-                "serve: --session-ttl requires single-process mode "
-                "(session state is not shard-aware yet)",
+                "serve: --session-ttl with --shards requires "
+                "--affinity session (session state is partitioned by "
+                "the session id's ring position)",
                 file=sys.stderr,
             )
             return 2
         service, managers = _build_cluster(args, registry)
+        transport_note = (
+            f", {args.transport} transport"
+            if args.shard_backend == "process"
+            else ""
+        )
         mode = (
             f"cluster ({args.shards} {args.shard_backend} shards, "
-            f"{args.affinity} affinity)"
+            f"{args.affinity} affinity{transport_note})"
         )
     else:
         pipeline = (
@@ -667,20 +702,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mode += ", fusion"
     sessions = None
     if args.session_ttl is not None:
-        from repro.sessions import SessionEventLog, SessionScoringService
+        if args.shards:
+            from repro.cluster.sessions import ClusterSessionService
 
-        event_log = (
-            SessionEventLog(args.session_log) if args.session_log else None
-        )
-        sessions = SessionScoringService(
-            service,
-            event_log=event_log,
-            ttl_seconds=args.session_ttl,
-            max_sessions=args.session_max,
-        )
-        mode += f", session streams (ttl {args.session_ttl:g}s)"
+            sessions = ClusterSessionService(
+                service,
+                ttl_seconds=args.session_ttl,
+                max_sessions=args.session_max,
+                event_log_root=args.session_log,
+            )
+            mode += (
+                f", session streams (ttl {args.session_ttl:g}s, "
+                f"{args.shards} lanes)"
+            )
+        else:
+            from repro.sessions import SessionEventLog, SessionScoringService
+
+            event_log = (
+                SessionEventLog(args.session_log) if args.session_log else None
+            )
+            sessions = SessionScoringService(
+                service,
+                event_log=event_log,
+                ttl_seconds=args.session_ttl,
+                max_sessions=args.session_max,
+            )
+            mode += f", session streams (ttl {args.session_ttl:g}s)"
     app = CollectionApp(service, sessions=sessions)
-    with make_server(args.host, args.port, app) as httpd:
+    if args.ingest == "async":
+        from repro.service.aingest import AsyncIngestServer
+
+        server = AsyncIngestServer(service, app, host=args.host, port=args.port)
+        mode += ", async ingest"
+    else:
+        server = make_server(args.host, args.port, app)
+    # Long-lived serving process: everything built so far (the model,
+    # the shard plumbing, the WSGI app) lives until exit, so move it
+    # out of the collector's reach — otherwise every gen2 collection
+    # re-scans the whole model heap mid-request.
+    import gc
+
+    gc.collect()
+    gc.freeze()
+    with server as httpd:
         endpoints = (
             "POST /collect, GET /health, GET /metrics, GET /rollout, "
             "GET /cluster"

@@ -27,11 +27,12 @@ the verdict a single-shard service would have produced.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.cluster.ring import wire_routing_key
+from repro.cluster.ring import _SID_PREFIX, wire_routing_key
 from repro.cluster.supervisor import ShardError, ShardSupervisor
 from repro.core.pipeline import BrowserPolygraph
 from repro.runtime.pool import OVERLOADED_REASON, overloaded_verdict
@@ -42,6 +43,12 @@ __all__ = ["ClusterRouter", "RouterConfig"]
 
 _POLL_S = 0.0002  # first-wins poll interval while a hedge is in flight
 _ROUTE_MEMO_LIMIT = 65_536  # distinct routing keys memoized per epoch
+
+# Per-shard dispatch threads only pay off when there is a second CPU to
+# run them on: the router-side hit path is pure Python (GIL-bound), and
+# on a single-CPU host even the child processes timeshare the one core,
+# so threads add switch overhead without adding any overlap.
+_PARALLEL_DISPATCH = (os.cpu_count() or 1) > 1
 
 
 class _ExtraReason(str):
@@ -211,60 +218,87 @@ class ClusterRouter:
         return shard_id
 
     def score_many(self, wires: Sequence[bytes]) -> List[Verdict]:
-        """Bulk path: partition by ring owner, score pipelined chunks.
+        """Bulk path: partition by ring owner, score chunks concurrently.
 
-        Wires whose chunk hits a dead shard are individually re-routed
-        through :meth:`score_wire` — nothing is lost, order is kept.
+        Each shard's chunk runs on its own dispatch thread — shards are
+        process- (or pool-) parallel, so scoring them sequentially
+        would serialize the whole cluster behind one dispatcher, which
+        is exactly the plateau this transport exists to break.  Wires
+        whose chunk hits a dead or shedding shard are individually
+        re-routed through :meth:`score_wire` afterwards — nothing is
+        lost, order is kept.
         """
         results: List[Optional[Verdict]] = [None] * len(wires)
         chunks: Dict[str, List[int]] = {}
+        chunks_get = chunks.get
         affinity = self.config.affinity
+        fingerprint = affinity == "fingerprint"
         unroutable = 0
+        # Fused partition loop: ``wire_routing_key`` and the memo probe
+        # of ``_owner_of`` inlined — two function calls per wire are
+        # measurable at hundreds of kwps.  The epoch check runs once
+        # per chunk; a membership change mid-loop lands wires on the
+        # old owner, and the retry pass below re-routes them, exactly
+        # as it does for a chunk already in flight during the change.
+        ring = self.supervisor.ring
+        memo = self._route_memo
+        if ring.epoch != self._route_epoch:
+            memo.clear()
+            self._route_epoch = ring.epoch
+        memo_get = memo.get
+        owner_of = self._owner_of
         for index, wire in enumerate(wires):
-            shard_id = self._owner_of(wire_routing_key(wire, affinity))
+            key = wire
+            if wire.startswith(_SID_PREFIX):
+                quote = wire.find(b'"', 8)
+                if quote >= 8:
+                    key = wire[quote:] if fingerprint else wire[8:quote]
+            shard_id = memo_get(key)
             if shard_id is None:
-                unroutable += 1
-                results[index] = overloaded_verdict(session_id="")
-                continue
-            chunks.setdefault(shard_id, []).append(index)
+                shard_id = owner_of(key)
+                if shard_id is None:
+                    unroutable += 1
+                    results[index] = overloaded_verdict(session_id="")
+                    continue
+            chunk = chunks_get(shard_id)
+            if chunk is None:
+                chunk = chunks[shard_id] = []
+            chunk.append(index)
         if unroutable:
             with self._lock:
                 self.requests_total += unroutable
                 self.unroutable_total += unroutable
-        for shard_id, indices in chunks.items():
-            shard = self.supervisor.shards.get(shard_id)
-            retry: List[int] = []
-            if shard is None:
-                retry = indices
-            else:
-                try:
-                    verdicts = shard.score_chunk([wires[i] for i in indices])
-                except (ShardError, TimeoutError):
-                    self.supervisor.note_failure(shard_id)
-                    retry = indices
-                else:
-                    scored = 0
-                    flagged = 0
-                    for i, verdict in zip(indices, verdicts):
-                        if verdict.reject_reason == OVERLOADED_REASON:
-                            retry.append(i)
-                            continue
-                        results[i] = verdict
-                        if verdict.accepted:
-                            scored += 1
-                            flagged += verdict.flagged
-                        else:
-                            self.validator.quarantine.record(
-                                verdict.reject_reason or "unknown"
-                            )
-                    answered = len(indices) - len(retry)
-                    with self._lock:
-                        self.requests_total += answered
-                        self.scored_count += scored
-                        self.flagged_count += flagged
-                        self._routed[shard_id] = (
-                            self._routed.get(shard_id, 0) + answered
-                        )
+        retries: Dict[str, List[int]] = {}
+        items = list(chunks.items())
+
+        def dispatch(shard_id: str, indices: List[int]) -> None:
+            try:
+                retries[shard_id] = self._score_chunk_into(
+                    shard_id, indices, wires, results
+                )
+            except Exception:  # noqa: BLE001 — a dead dispatcher loses wires
+                retries[shard_id] = [
+                    i for i in indices if results[i] is None
+                ]
+
+        if len(items) <= 1 or not _PARALLEL_DISPATCH:
+            for shard_id, indices in items:
+                dispatch(shard_id, indices)
+        else:
+            threads = [
+                threading.Thread(
+                    target=dispatch,
+                    args=(shard_id, indices),
+                    name=f"polygraph-dispatch-{shard_id}",
+                    daemon=True,
+                )
+                for shard_id, indices in items
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for shard_id, retry in retries.items():
             if retry:
                 self.supervisor.note_failure(shard_id)
                 with self._lock:
@@ -272,6 +306,49 @@ class ClusterRouter:
                 for i in retry:
                     results[i] = self.score_wire(wires[i])
         return results  # type: ignore[return-value]
+
+    def _score_chunk_into(
+        self,
+        shard_id: str,
+        indices: List[int],
+        wires: Sequence[bytes],
+        results: List[Optional[Verdict]],
+    ) -> List[int]:
+        """Score one shard's chunk in place; return indices to re-route.
+
+        Runs on a per-shard dispatch thread: writes only to its own
+        ``results`` slots, and all shared counters are lock-guarded.
+        """
+        shard = self.supervisor.shards.get(shard_id)
+        if shard is None:
+            return indices
+        try:
+            verdicts = shard.score_chunk([wires[i] for i in indices])
+        except (ShardError, TimeoutError):
+            self.supervisor.note_failure(shard_id)
+            return indices
+        retry: List[int] = []
+        scored = 0
+        flagged = 0
+        for i, verdict in zip(indices, verdicts):
+            if verdict.reject_reason == OVERLOADED_REASON:
+                retry.append(i)
+                continue
+            results[i] = verdict
+            if verdict.accepted:
+                scored += 1
+                flagged += verdict.flagged
+            else:
+                self.validator.quarantine.record(
+                    verdict.reject_reason or "unknown"
+                )
+        answered = len(indices) - len(retry)
+        with self._lock:
+            self.requests_total += answered
+            self.scored_count += scored
+            self.flagged_count += flagged
+            self._routed[shard_id] = self._routed.get(shard_id, 0) + answered
+        return retry
 
     # ------------------------------------------------------------------
     # routing internals
@@ -372,6 +449,9 @@ class ClusterRouter:
     def cluster_status(self) -> dict:
         """The ``GET /cluster`` document: topology + routing counters."""
         status = self.supervisor.status_dict()
+        transport_stats = self.supervisor.transport_stats()
+        if transport_stats:
+            status["transport_stats"] = transport_stats
         with self._lock:
             status["router"] = {
                 "affinity": self.config.affinity,
@@ -422,5 +502,42 @@ class ClusterRouter:
             lines.append(
                 f'polygraph_cluster_shard_restarts{{shard="{shard["shard_id"]}"}} '
                 f'{shard["restarts"]}'
+            )
+        lines.extend(self._transport_metrics_lines())
+        return lines
+
+    _TRANSPORT_METRICS = (
+        ("zero_copy_batches", "zero_copy_batches_total", "counter"),
+        ("zero_copy_rows", "zero_copy_rows_total", "counter"),
+        ("pickle_fallbacks", "pickle_fallbacks_total", "counter"),
+        ("backpressure_waits", "backpressure_pauses_total", "counter"),
+        ("cache_hits", "cache_hits_total", "counter"),
+        ("cache_misses", "cache_misses_total", "counter"),
+        ("ring_occupancy", "ring_occupancy", "gauge"),
+        ("ring_occupancy_peak", "ring_occupancy_peak", "gauge"),
+    )
+
+    def _transport_metrics_lines(self) -> List[str]:
+        """``polygraph_transport_*`` lines, one series per process shard.
+
+        Thread-backed clusters (and single-process serving) have no
+        transport, so these lines are cleanly absent there.
+        """
+        per_shard = self.supervisor.transport_stats()
+        if not per_shard:
+            return []
+        lines: List[str] = []
+        for key, metric, kind in self._TRANSPORT_METRICS:
+            lines.append(f"# TYPE polygraph_transport_{metric} {kind}")
+            for shard_id, stats in sorted(per_shard.items()):
+                lines.append(
+                    f'polygraph_transport_{metric}{{shard="{shard_id}"}} '
+                    f"{stats[key]}"
+                )
+        lines.append("# TYPE polygraph_transport_shm_mode gauge")
+        for shard_id, stats in sorted(per_shard.items()):
+            lines.append(
+                f'polygraph_transport_shm_mode{{shard="{shard_id}"}} '
+                f'{1 if stats["mode"] == "shm" else 0}'
             )
         return lines

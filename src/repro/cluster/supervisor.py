@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue
+import signal
 import tempfile
 import threading
 import time
@@ -37,8 +38,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cluster.ring import HashRing
+from repro.cluster.transport import ShmSlab, ShmTransport
 from repro.core.model_store import stored_digest
 from repro.core.pipeline import BrowserPolygraph
+from repro.fingerprint.features import N_FEATURES
 from repro.runtime.pool import OVERLOADED_REASON, overloaded_verdict
 from repro.runtime.service import PendingVerdict, RuntimeConfig, RuntimeScoringService
 from repro.service.scoring import Verdict
@@ -59,24 +62,38 @@ class ShardError(RuntimeError):
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Topology and health-checking knobs of the serving cluster."""
+    """Topology and health-checking knobs of the serving cluster.
+
+    ``transport`` selects how routed chunks reach *process* shards:
+    ``"shm"`` (default) scores through the zero-copy shared-memory
+    slab of :mod:`repro.cluster.transport` with router-side ingest and
+    verdict cache; ``"pickle"`` keeps the legacy pickle-over-pipe path.
+    Thread shards always score in-process, so the field is inert for
+    ``backend="thread"``.
+    """
 
     n_shards: int = 2
     backend: str = "thread"  # "thread" | "process"
+    transport: str = "shm"  # "shm" | "pickle" (process backend only)
     vnodes: int = 64
     heartbeat_interval_s: float = 0.25
     unhealthy_after: int = 2  # consecutive failures before removal
     ping_timeout_s: float = 5.0
+    ring_slots: int = 4096  # shm slab rows per shard
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if self.backend not in ("thread", "process"):
             raise ValueError("backend must be 'thread' or 'process'")
+        if self.transport not in ("shm", "pickle"):
+            raise ValueError("transport must be 'shm' or 'pickle'")
         if self.unhealthy_after < 1:
             raise ValueError("unhealthy_after must be >= 1")
         if self.heartbeat_interval_s <= 0:
             raise ValueError("heartbeat_interval_s must be positive")
+        if self.ring_slots < 1:
+            raise ValueError("ring_slots must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -89,6 +106,7 @@ class ShardStatus:
     queue_depth: int
     scored_count: int
     flagged_count: int
+    queue_depth_peak: int = 0
 
 
 def _verify_replica(path: Path, expected_digest: Optional[str]) -> None:
@@ -204,6 +222,7 @@ class ThreadShard:
             queue_depth=service.pool.queue_depth,
             scored_count=service.scored_count,
             flagged_count=service.flagged_count,
+            queue_depth_peak=int(service.runtime_stats.peak("queue_depth")),
         )
 
     def install(
@@ -218,23 +237,103 @@ class ThreadShard:
         self.model_version = version
         return version
 
+    def transport_stats(self) -> Optional[dict]:
+        """Thread shards score in-process — no transport to report."""
+        return None
+
 
 # ----------------------------------------------------------------------
 # process backend
 
 
-def _shard_worker(conn, model_path: str, runtime_config: RuntimeConfig) -> None:
-    """Child-process main loop: one scoring runtime behind a pipe."""
+def _shard_worker(
+    conn,
+    model_path: str,
+    runtime_config: RuntimeConfig,
+    slab_name: Optional[str] = None,
+    n_slots: int = 0,
+    n_features: int = 0,
+) -> None:
+    """Child-process main loop: one scoring runtime behind a pipe.
+
+    With ``slab_name`` set (shm transport), the child attaches the
+    parent-created slab and handshakes
+    ``("shm_ready", attached, namespace_probe, vendor_risk, generation)``
+    — the parent needs the escalation config because ingest and the
+    Section 8 escalation run router-side in shm mode, and the child
+    only evaluates raw feature rows (``shmscore``) straight out of the
+    slab with one vectorized model call.  A failed attach degrades to
+    the pickle protocol (``attached=False``); the ``score`` op stays
+    available either way.
+    """
+    # Terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group; the supervisor stops children through a ("stop", drain)
+    # pipe message, so the signal would only interrupt conn.recv()
+    # with a stray traceback mid-drain.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     polygraph = BrowserPolygraph.load(model_path)
     service = RuntimeScoringService(polygraph, config=runtime_config).start()
     model_version = 0
+    shm_meta = shm_results = shm_rows = None
+    close_slab = None
+    ua_table: Dict[int, str] = {}
+    if slab_name is not None:
+        from repro.cluster.transport import attach_slab_views
+
+        try:
+            shm_meta, shm_results, shm_rows, close_slab = attach_slab_views(
+                slab_name, n_slots, n_features
+            )
+            attached = True
+        except Exception:  # noqa: BLE001 — degrade to pickle, don't die
+            attached = False
+        conn.send(
+            (
+                "shm_ready",
+                attached,
+                bool(polygraph.config.enable_namespace_probe),
+                int(polygraph.config.vendor_mismatch_risk),
+                polygraph.model_generation,
+            )
+        )
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break
         op = message[0]
-        if op == "score":
+        if op == "shmscore":
+            _, seq, start, count = message
+            try:
+                generation, detector = polygraph.detection_snapshot()
+                user_agents = [
+                    ua_table[index]
+                    for index in shm_meta[start : start + count].tolist()
+                ]
+                results = detector.evaluate_vectors(
+                    shm_rows[start : start + count], user_agents
+                )
+                out = shm_results
+                for offset, result in enumerate(results):
+                    row = out[start + offset]
+                    row[0] = result.predicted_cluster
+                    row[1] = (
+                        -1
+                        if result.expected_cluster is None
+                        else result.expected_cluster
+                    )
+                    row[2] = 1 if result.flagged else 0
+                    row[3] = (
+                        -1 if result.risk_factor is None else result.risk_factor
+                    )
+                conn.send(("shmdone", seq, generation))
+            except Exception as exc:  # noqa: BLE001 — reply, don't die
+                conn.send(("shmerr", seq, f"{type(exc).__name__}: {exc}"))
+        elif op == "shmua":
+            ua_table[message[1]] = message[2]
+        elif op == "shmuareset":
+            ua_table.clear()
+        elif op == "score":
             handles = [service.submit_wire(wire) for wire in message[1]]
             verdicts = [handle.result(timeout=30.0) for handle in handles]
             conn.send(
@@ -258,6 +357,7 @@ def _shard_worker(conn, model_path: str, runtime_config: RuntimeConfig) -> None:
                     service.pool.queue_depth,
                     service.scored_count,
                     service.flagged_count,
+                    int(service.runtime_stats.peak("queue_depth")),
                 )
             )
         elif op == "install":
@@ -267,13 +367,19 @@ def _shard_worker(conn, model_path: str, runtime_config: RuntimeConfig) -> None:
                 replica = BrowserPolygraph.load(path)
                 polygraph.install(replica.cluster_model)
                 model_version = version
-                conn.send(("ok", version))
+                conn.send(("ok", version, polygraph.model_generation))
             except Exception as exc:  # noqa: BLE001 — reply, don't die
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
         elif op == "stop":
             service.shutdown(drain=bool(message[1]))
             conn.send(("stopped",))
             break
+    if close_slab is not None:
+        shm_meta = shm_results = shm_rows = None
+        try:
+            close_slab()
+        except BufferError:
+            pass
     conn.close()
 
 
@@ -299,15 +405,34 @@ class _Call:
 class ProcessShard:
     """One scoring shard hosted in a child process.
 
-    All pipe traffic flows through a single I/O thread: scoring
-    submissions coalesce into chunks (one pickle round-trip scores many
-    wires), and control calls (ping, install, stop) interleave between
-    chunks.  A dead child fails outstanding submissions with
+    Two transports:
+
+    * ``"shm"`` (default via :class:`ClusterConfig`): ingest, dedup and
+      the verdict cache run router-side in a
+      :class:`~repro.cluster.transport.ShmTransport`; only cache misses
+      cross the process boundary, as zero-copy feature rows in a
+      shared-memory slab.  The transport lock serializes pipe use, and
+      :meth:`score_chunk` works in sub-chunks so heartbeat pings and
+      installs interleave between them.
+    * ``"pickle"``: the legacy path — all pipe traffic flows through a
+      single I/O thread; scoring submissions coalesce into chunks (one
+      pickle round-trip scores many wires) and control calls interleave
+      between chunks.
+
+    Either way a dead child fails outstanding submissions with
     :data:`~repro.runtime.pool.OVERLOADED_REASON` verdicts, which the
-    router treats as its cue to re-route.
+    router treats as its cue to re-route.  If slab creation or the
+    child-side attach fails, the shard degrades to pickle and counts
+    the wires it scores that way (``pickle_fallbacks``).
+
+    Crash/restart semantics: the slab outlives the child.  ``restart``
+    spawns a fresh child that re-attaches the *same* slab by name, with
+    a fresh transport — cache and dedup window start cold, exactly like
+    :meth:`ThreadShard.restart` after a crash.
     """
 
     _CHUNK = 128
+    _SHM_SUBCHUNK = 4096
 
     def __init__(
         self,
@@ -316,6 +441,8 @@ class ProcessShard:
         runtime_config: RuntimeConfig = RuntimeConfig(),
         expected_digest: Optional[str] = None,
         model_version: int = 1,
+        transport: str = "shm",
+        ring_slots: int = 4096,
     ) -> None:
         self.shard_id = shard_id
         self.model_path = Path(model_path)
@@ -323,6 +450,10 @@ class ProcessShard:
         self.model_version = model_version
         self._expected_digest = expected_digest
         _verify_replica(self.model_path, expected_digest)
+        if transport not in ("shm", "pickle"):
+            raise ValueError("transport must be 'shm' or 'pickle'")
+        self.transport_mode = transport
+        self.ring_slots = ring_slots
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -332,53 +463,117 @@ class ProcessShard:
         self._inbox: "queue.Queue[object]" = queue.Queue()
         self._io_thread: Optional[threading.Thread] = None
         self._alive = False
+        self._slab: Optional[ShmSlab] = None
+        self._transport: Optional[ShmTransport] = None
+        self.pickle_fallback_wires = 0  # wires over pickle while shm requested
 
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> "ProcessShard":
         if self._alive:
             return self
+        slab_name: Optional[str] = None
+        if self.transport_mode == "shm":
+            if self._slab is None:
+                try:
+                    self._slab = ShmSlab(self.ring_slots, N_FEATURES)
+                except (OSError, ValueError):
+                    self._slab = None  # no shared memory here: pickle fallback
+            if self._slab is not None:
+                slab_name = self._slab.name
         parent_conn, child_conn = self._ctx.Pipe()
         self._process = self._ctx.Process(
             target=_shard_worker,
-            args=(child_conn, str(self.model_path), self.runtime_config),
+            args=(
+                child_conn,
+                str(self.model_path),
+                self.runtime_config,
+                slab_name,
+                self._slab.n_slots if self._slab is not None else 0,
+                self._slab.n_features if self._slab is not None else 0,
+            ),
             name=f"polygraph-shard-{self.shard_id}",
             daemon=True,
         )
         self._process.start()
         child_conn.close()
         self._conn = parent_conn
+        self._transport = None
+        if slab_name is not None:
+            try:
+                if not parent_conn.poll(30.0):
+                    raise ShardError(
+                        f"shard {self.shard_id} shm handshake timed out"
+                    )
+                reply = parent_conn.recv()
+                tag, attached, namespace_probe, vendor_risk, generation = reply
+                if tag != "shm_ready":
+                    raise ShardError(
+                        f"shard {self.shard_id} bad handshake: {tag!r}"
+                    )
+            except (EOFError, OSError, ValueError) as exc:
+                self.kill()
+                self._reap()
+                raise ShardError(
+                    f"shard {self.shard_id} died during shm handshake"
+                ) from exc
+            if attached:
+                self._transport = ShmTransport(
+                    self._slab,
+                    parent_conn,
+                    self.runtime_config,
+                    namespace_probe=namespace_probe,
+                    vendor_risk=vendor_risk,
+                    generation=generation,
+                )
         self._alive = True
-        self._io_thread = threading.Thread(
-            target=self._io_loop,
-            name=f"polygraph-shard-io-{self.shard_id}",
-            daemon=True,
-        )
-        self._io_thread.start()
+        if self._transport is None:
+            self._io_thread = threading.Thread(
+                target=self._io_loop,
+                name=f"polygraph-shard-io-{self.shard_id}",
+                daemon=True,
+            )
+            self._io_thread.start()
         return self
 
     def stop(self, drain: bool = True) -> None:
         if not self._alive:
             self._reap()
+            self._close_slab()
             return
         try:
-            self._call(("stop", drain), timeout=30.0)
+            if self._transport is not None:
+                self._direct_call(("stop", drain), timeout=30.0)
+            else:
+                self._call(("stop", drain), timeout=30.0)
         except ShardError:
             pass
         self._alive = False
         self._reap()
+        self._close_slab()
 
     def kill(self) -> None:
         """Crash simulation: SIGKILL the child mid-batch."""
+        transport = self._transport
+        if transport is not None:
+            transport.broken = True
         process = self._process
         if process is not None and process.is_alive():
             process.kill()
         self._alive = False
 
     def restart(self) -> None:
+        """Fresh child re-attaching the same slab; transport starts cold."""
         self.kill()
         self._reap()
         self.start()
+
+    def _close_slab(self) -> None:
+        self._transport = None
+        slab = self._slab
+        self._slab = None
+        if slab is not None:
+            slab.close()
 
     def _reap(self) -> None:
         process = self._process
@@ -399,19 +594,58 @@ class ProcessShard:
     def submit_wire(self, wire: bytes) -> PendingVerdict:
         if not self._alive:
             raise ShardError(f"shard {self.shard_id} is not running")
+        transport = self._transport
+        if transport is not None:
+            # Synchronous under the transport lock: the handle comes
+            # back already decided (hedging still works — the poller
+            # sees an instantly-done handle).
+            verdict = transport.score_one(wire)
+            if transport.broken:
+                self._alive = False
+            return PendingVerdict(verdict)
         handle = PendingVerdict()
         self._inbox.put((wire, handle))
         return handle
 
     def score_chunk(self, wires: Sequence[bytes]) -> List[Verdict]:
+        transport = self._transport
+        if transport is not None:
+            if not self._alive:
+                raise ShardError(f"shard {self.shard_id} is not running")
+            verdicts: List[Verdict] = []
+            # Sub-chunks bound how long the transport lock is held so
+            # heartbeat pings and installs interleave mid-chunk.
+            for begin in range(0, len(wires), self._SHM_SUBCHUNK):
+                verdicts.extend(
+                    transport.score_wires(
+                        wires[begin : begin + self._SHM_SUBCHUNK]
+                    )
+                )
+            if transport.broken:
+                self._alive = False
+            return verdicts
         handles = [self.submit_wire(wire) for wire in wires]
         return [handle.result(timeout=30.0) for handle in handles]
 
     # -- control --------------------------------------------------------
 
     def ping(self) -> ShardStatus:
+        transport = self._transport
+        if transport is not None:
+            reply = self._direct_call(("ping",), timeout=5.0)
+            version, generation = reply[0], reply[1]
+            stats = transport.transport_stats()
+            return ShardStatus(
+                shard_id=self.shard_id,
+                model_version=version or self.model_version,
+                model_generation=generation,
+                queue_depth=stats["ring_occupancy"],
+                scored_count=stats["scored"],
+                flagged_count=stats["flagged"],
+                queue_depth_peak=stats["ring_occupancy_peak"],
+            )
         reply = self._call(("ping",), timeout=5.0)
-        version, generation, depth, scored, flagged = reply
+        version, generation, depth, scored, flagged, depth_peak = reply
         # The child tracks installs it performed; before the first
         # install its counter is 0 and the boot version stands.
         return ShardStatus(
@@ -421,17 +655,49 @@ class ProcessShard:
             queue_depth=depth,
             scored_count=scored,
             flagged_count=flagged,
+            queue_depth_peak=depth_peak,
         )
 
     def install(
         self, path: Union[str, Path], digest: Optional[str], version: int
     ) -> int:
-        reply = self._call(("install", str(path), digest, version), timeout=30.0)
+        message = ("install", str(path), digest, version)
+        if self._transport is not None:
+            reply = self._direct_call(message, timeout=30.0)
+        else:
+            reply = self._call(message, timeout=30.0)
         if reply[0] != "ok":
             raise ShardError(f"shard {self.shard_id} install failed: {reply[1]}")
+        if self._transport is not None:
+            # The child swapped models: drop the router-side cache and
+            # derived parse state, pinned to the child's new generation
+            # so in-flight stale batch results are refused.
+            self._transport.on_model_swap(reply[2])
         self.model_path = Path(path)
         self.model_version = version
         return version
+
+    def transport_stats(self) -> Optional[dict]:
+        """Counter snapshot of this shard's transport (process backend)."""
+        transport = self._transport
+        if transport is not None:
+            return transport.transport_stats()
+        return {
+            "mode": "pickle",
+            "broken": False,
+            "zero_copy_batches": 0,
+            "zero_copy_rows": 0,
+            "pickle_fallbacks": self.pickle_fallback_wires,
+            "backpressure_waits": 0,
+            "ring_slots": 0,
+            "ring_occupancy": 0,
+            "ring_occupancy_peak": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_entries": 0,
+            "scored": 0,
+            "flagged": 0,
+        }
 
     def _call(self, message: tuple, timeout: float):
         if not self._alive:
@@ -439,6 +705,28 @@ class ProcessShard:
         call = _Call(message)
         self._inbox.put(call)
         return call.wait(timeout)
+
+    def _direct_call(self, message: tuple, timeout: float):
+        """Control call over the shared pipe (shm mode: no I/O thread)."""
+        transport = self._transport
+        if not self._alive or transport is None:
+            raise ShardError(f"shard {self.shard_id} is not running")
+        with transport.lock:
+            if transport.broken:
+                raise ShardError(f"shard {self.shard_id} pipe is broken")
+            try:
+                self._conn.send(message)
+                if not self._conn.poll(timeout):
+                    raise ShardError(
+                        f"shard {self.shard_id} control call timed out"
+                    )
+                return self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                transport.broken = True
+                self._alive = False
+                raise ShardError(
+                    f"shard {self.shard_id} pipe broke: {type(exc).__name__}"
+                ) from exc
 
     # -- pipe pump ------------------------------------------------------
 
@@ -489,6 +777,10 @@ class ProcessShard:
         if not pending:
             return
         wires = [wire for wire, _ in pending]
+        if self.transport_mode == "shm":
+            # Only reachable when the slab could not be created or
+            # attached: shm was requested but pickle is serving.
+            self.pickle_fallback_wires += len(wires)
         conn.send(("score", wires))
         replies = conn.recv()
         for (_, handle), reply in zip(pending, replies):
@@ -559,17 +851,28 @@ class ShardSupervisor:
         self.runtime_config = runtime_config
         self.model_path = Path(model_path)
         self.expected_digest = expected_digest
-        shard_cls = ThreadShard if config.backend == "thread" else ProcessShard
         self.shards: Dict[str, object] = {}
         for index in range(config.n_shards):
             shard_id = f"s{index}"
-            self.shards[shard_id] = shard_cls(
-                shard_id,
-                self.model_path,
-                runtime_config=runtime_config,
-                expected_digest=expected_digest,
-                model_version=model_version,
-            )
+            if config.backend == "thread":
+                shard = ThreadShard(
+                    shard_id,
+                    self.model_path,
+                    runtime_config=runtime_config,
+                    expected_digest=expected_digest,
+                    model_version=model_version,
+                )
+            else:
+                shard = ProcessShard(
+                    shard_id,
+                    self.model_path,
+                    runtime_config=runtime_config,
+                    expected_digest=expected_digest,
+                    model_version=model_version,
+                    transport=config.transport,
+                    ring_slots=config.ring_slots,
+                )
+            self.shards[shard_id] = shard
         self.ring = HashRing(vnodes=config.vnodes)
         self._health: Dict[str, _Health] = {
             shard_id: _Health() for shard_id in self.shards
@@ -793,23 +1096,36 @@ class ShardSupervisor:
                 for shard_id, shard in self.shards.items()
             }
 
+    def transport_stats(self) -> Dict[str, dict]:
+        """Per-shard transport counters (empty for the thread backend)."""
+        with self._lock:
+            shards = list(self.shards.items())
+        stats: Dict[str, dict] = {}
+        for shard_id, shard in shards:
+            shard_stats = shard.transport_stats()
+            if shard_stats is not None:
+                stats[shard_id] = shard_stats
+        return stats
+
     def status_dict(self) -> dict:
         """JSON-friendly view for ``GET /cluster`` and the CLI."""
         with self._lock:
             shards = []
             for shard_id, shard in self.shards.items():
                 health = self._health[shard_id]
-                shards.append(
-                    {
-                        "shard_id": shard_id,
-                        "healthy": health.healthy,
-                        "failures": health.failures,
-                        "restarts": health.restarts,
-                        "model_version": shard.model_version,
-                        "on_ring": shard_id in self.ring,
-                    }
-                )
-            return {
+                entry = {
+                    "shard_id": shard_id,
+                    "healthy": health.healthy,
+                    "failures": health.failures,
+                    "restarts": health.restarts,
+                    "model_version": shard.model_version,
+                    "on_ring": shard_id in self.ring,
+                }
+                shard_stats = shard.transport_stats()
+                if shard_stats is not None:
+                    entry["transport"] = shard_stats["mode"]
+                shards.append(entry)
+            document = {
                 "backend": self.config.backend,
                 "n_shards": self.config.n_shards,
                 "healthy_shards": sum(1 for s in shards if s["healthy"]),
@@ -817,3 +1133,6 @@ class ShardSupervisor:
                 "vnodes": self.config.vnodes,
                 "shards": shards,
             }
+            if self.config.backend == "process":
+                document["transport"] = self.config.transport
+            return document

@@ -131,6 +131,48 @@ class VerdictCache:
             self._hits += 1
             return value
 
+    def get_many(self, keys: Sequence[Optional[tuple]]) -> list:
+        """Probe a whole chunk under one lock and one clock read.
+
+        ``None`` keys pass through as ``None`` without touching the
+        hit/miss counters (the caller uses them for positions it never
+        built a key for, e.g. rejected wires).  Per-key semantics —
+        TTL expiry, LRU touch, counters — match :meth:`get` exactly.
+        """
+        now = self._clock()
+        ttl = self.ttl_seconds
+        deadline = None if ttl is None else now - ttl
+        out: list = []
+        append = out.append
+        hits = misses = expirations = 0
+        with self._lock:
+            entries = self._entries
+            entries_get = entries.get
+            move_to_end = entries.move_to_end
+            for key in keys:
+                if key is None:
+                    append(None)
+                    continue
+                entry = entries_get(key)
+                if entry is None:
+                    misses += 1
+                    append(None)
+                    continue
+                stored_at, value = entry
+                if deadline is not None and stored_at < deadline:
+                    del entries[key]
+                    expirations += 1
+                    misses += 1
+                    append(None)
+                    continue
+                move_to_end(key)
+                hits += 1
+                append(value)
+            self._hits += hits
+            self._misses += misses
+            self._expirations += expirations
+        return out
+
     def put(
         self, key: tuple, value: object, generation: Optional[int] = None
     ) -> bool:

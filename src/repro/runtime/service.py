@@ -37,41 +37,27 @@ their results are refused by the cache afterwards (generation check).
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from dataclasses import dataclass
 from datetime import date
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.browsers.useragent import UserAgentError, parse_user_agent
 from repro.core.pipeline import BrowserPolygraph
-from repro.fingerprint.script import FingerprintPayload, MAX_PAYLOAD_BYTES
+from repro.fingerprint.script import FingerprintPayload
 from repro.runtime.batcher import MicroBatcher
 from repro.runtime.cache import VerdictCache
+from repro.runtime.fastingest import WireIngest
 from repro.runtime.pool import WorkerPool, overloaded_verdict
 from repro.runtime.stats import RuntimeStats
-from repro.service.ingest import (
-    MAX_FEATURE_VALUE,
-    MAX_SESSION_ID_LENGTH,
-    MAX_SUSPICIOUS_GLOBALS,
-    PayloadValidator,
-    RejectReason,
-)
+from repro.service.ingest import PayloadValidator, RejectReason
 from repro.service.scoring import Verdict
 from repro.service.storage import SessionStore
 from repro.traffic.dataset import Dataset
 
 __all__ = ["PendingVerdict", "RuntimeConfig", "RuntimeScoringService"]
-
-_UA_MEMO_LIMIT = 4096
-_WIRE_MEMO_LIMIT = 8192
-
-_MISSING = object()  # memo sentinel: cached values may be None
-
-_SID_PREFIX = b'{"sid":"'
 
 # Cache-key tag separating candidate-arm verdicts during a rollout.
 _CANDIDATE_ARM = "__candidate__"
@@ -232,17 +218,13 @@ class RuntimeScoringService:
         )
         self.scored_count = 0
         self.flagged_count = 0
-        self.requests_total = 0
-        self.rejected_count = 0
         self._sample_every = config.latency_sample_every
-        self._lock = threading.Lock()  # ingest state + counters
-        self._ua_class: Dict[str, Optional[str]] = {}
-        # Parsed-wire memo: live payloads from the same browser differ
-        # only in their session id, so everything after it — user-agent,
-        # features, globals — is memoized by its raw bytes and repeat
-        # fingerprints skip the JSON parse entirely.  Parse results are
-        # model-independent, so this memo survives retrains.
-        self._wire_memo: Dict[bytes, tuple] = {}
+        self._lock = threading.Lock()  # scored/flagged counters
+        # Wire-contract enforcement lives in the shared fast-ingest
+        # engine (also used router-side by the shm shard transport);
+        # parse memos are model-independent and survive retrains,
+        # except the UA memo which is cleared on model swap.
+        self._ingest = WireIngest(self.validator)
         self._closed = False
         # Optional rollout manager (repro.rollout): routes sessions to a
         # candidate arm and mirrors live verdicts for shadow comparison.
@@ -407,11 +389,20 @@ class RuntimeScoringService:
         self.runtime_stats.incr("model_swaps")
         if self.cache is not None:
             self.cache.invalidate(generation)
-        with self._lock:
-            self._ua_class.clear()
+        self._ingest.clear_ua_memo()
 
     # ------------------------------------------------------------------
     # metrics
+
+    @property
+    def requests_total(self) -> int:
+        """Requests ingested (accepted + rejected), from the ingest engine."""
+        return self._ingest.requests_total
+
+    @property
+    def rejected_count(self) -> int:
+        """Requests rejected by the wire contract or dedup window."""
+        return self._ingest.rejected_count
 
     @property
     def flag_rate(self) -> float:
@@ -426,9 +417,8 @@ class RuntimeScoringService:
     def runtime_metrics_lines(self) -> List[str]:
         """Prometheus-style lines for the ``/metrics`` endpoint."""
         stats = self.runtime_stats
-        with self._lock:
-            stats.set_counter("requests_total", self.requests_total)
-            stats.set_counter("requests_rejected", self.rejected_count)
+        stats.set_counter("requests_total", self.requests_total)
+        stats.set_counter("requests_rejected", self.rejected_count)
         stats.set_gauge("queue_depth", self.pool.queue_depth)
         stats.set_gauge(
             "polygraph_model_generation",
@@ -450,157 +440,13 @@ class RuntimeScoringService:
     def _ingest_fast(
         self, wire: bytes
     ) -> Tuple[Optional[RejectReason], Optional[tuple]]:
-        """Wire-contract enforcement, mirrored from ``PayloadValidator``.
+        """Wire-contract enforcement via the shared fast-ingest engine.
 
-        Identical checks in identical order, sharing the validator's
-        quarantine log and dedup window — but parsing the payload once
-        and memoizing the user-agent equivalence class, because this
-        runs on every request of the hot path.  Parity with
-        ``PayloadValidator.ingest_wire`` is pinned by tests.
-
-        Stateless checks run lock-free; only the shared mutable state
-        (quarantine log, dedup window, counters) is touched under the
-        service lock, so concurrent producers serialize on a few dict
-        and set operations rather than on a JSON parse.
-
-        Fast path: live payloads from the same browser differ only in
-        ``sid``, so the wire *suffix* (the bytes after the session id)
-        is memoized.  When the suffix was fully parsed and statically
-        validated before, only the session-id checks and the dedup
-        window run — no JSON parse, no user-agent parse.  The fast path
-        bails to the full parse on anything structurally unusual
-        (escaped or non-ASCII-control session ids, reordered or
-        duplicated keys), so it can never produce a different outcome
-        than ``PayloadValidator`` — only skip work that is provably
-        identical because the bytes are identical.
+        See :class:`~repro.runtime.fastingest.WireIngest` — identical
+        checks in identical order to ``PayloadValidator.ingest_wire``,
+        with parse/UA memoization.  Parity is pinned by tests.
         """
-        validator = self.validator
-        if len(wire) > MAX_PAYLOAD_BYTES:
-            return self._reject(
-                RejectReason.OVERSIZED, f"{len(wire)} bytes > {MAX_PAYLOAD_BYTES}"
-            )
-        sid_bytes: Optional[bytes] = None
-        suffix: Optional[bytes] = None
-        if wire.startswith(_SID_PREFIX):
-            quote = wire.find(b'"', 8)
-            if quote >= 8:
-                raw_sid = wire[8:quote]
-                # Escapes or control bytes in the sid change its JSON
-                # meaning; a second "sid" key would make json.loads
-                # keep the later one.  Either way: full parse.
-                if b"\\" not in raw_sid and (
-                    not raw_sid or min(raw_sid) >= 0x20
-                ):
-                    tail = wire[quote:]
-                    if b'"sid"' not in tail:
-                        sid_bytes = raw_sid
-                        suffix = tail
-                        cached = self._wire_memo.get(tail)
-                        if cached is not None:
-                            try:
-                                session_id = raw_sid.decode("utf-8")
-                            except UnicodeDecodeError:
-                                session_id = None
-                            if session_id is not None:
-                                user_agent, values, globs, ua_key = cached
-                                if not session_id or (
-                                    len(session_id) > MAX_SESSION_ID_LENGTH
-                                ):
-                                    return self._reject(
-                                        RejectReason.BAD_SESSION_ID,
-                                        session_id[:80],
-                                    )
-                                return self._admit(
-                                    session_id, user_agent, values, globs, ua_key
-                                )
-        try:
-            body = json.loads(wire.decode("utf-8"))
-            session_id = str(body["sid"])
-            user_agent = str(body["ua"])
-            values = tuple(map(int, body["f"]))
-            raw_globs = body.get("g", _MISSING)
-            globs = (
-                () if raw_globs is _MISSING
-                else tuple(str(g) for g in raw_globs)
-            )
-        except (ValueError, KeyError, TypeError) as exc:
-            return self._reject(RejectReason.MALFORMED, str(exc)[:120])
-        if not session_id or len(session_id) > MAX_SESSION_ID_LENGTH:
-            return self._reject(RejectReason.BAD_SESSION_ID, session_id[:80])
-        if len(values) != validator.expected_features:
-            return self._reject(
-                RejectReason.WRONG_ARITY,
-                f"{len(values)} values, expected {validator.expected_features}",
-            )
-        # C-loop min/max instead of a per-element genexpr; the arity
-        # check above guarantees ``values`` is non-empty.
-        if min(values) < 0 or max(values) > MAX_FEATURE_VALUE:
-            return self._reject(RejectReason.VALUE_RANGE, "feature out of range")
-        if len(globs) > MAX_SUSPICIOUS_GLOBALS:
-            return self._reject(
-                RejectReason.GLOBALS_OVERFLOW, f"{len(globs)} suspicious globals"
-            )
-        ua_key = self._ua_class_of(user_agent)
-        if ua_key is None:
-            return self._reject(RejectReason.UNPARSEABLE_UA, user_agent[:80])
-        # Memoize the statically-validated suffix — but only when the
-        # byte-sliced sid round-trips to the JSON-parsed one, proving
-        # the slice boundaries are exactly right for this shape.
-        if suffix is not None and session_id.encode("utf-8") == sid_bytes:
-            memo = self._wire_memo
-            if len(memo) >= _WIRE_MEMO_LIMIT:
-                memo.clear()
-            memo[suffix] = (user_agent, values, globs, ua_key)
-        return self._admit(session_id, user_agent, values, globs, ua_key)
-
-    def _admit(
-        self,
-        session_id: str,
-        user_agent: str,
-        values: Tuple[int, ...],
-        globs: Tuple[str, ...],
-        ua_key: str,
-    ) -> Tuple[Optional[RejectReason], Optional[tuple]]:
-        """Dedup window + counters for a statically-valid payload."""
-        validator = self.validator
-        with self._lock:
-            if validator.is_duplicate(session_id):
-                validator.quarantine.record(RejectReason.DUPLICATE, session_id)
-                self.requests_total += 1
-                self.rejected_count += 1
-                return RejectReason.DUPLICATE, None
-            validator.remember(session_id)
-            validator.accepted_count += 1
-            self.requests_total += 1
-        return None, (session_id, user_agent, values, globs, ua_key)
-
-    def _reject(
-        self, reason: RejectReason, detail: str
-    ) -> Tuple[RejectReason, None]:
-        with self._lock:
-            self.validator.quarantine.record(reason, detail)
-            self.requests_total += 1
-            self.rejected_count += 1
-        return reason, None
-
-    def _ua_class_of(self, user_agent: str) -> Optional[str]:
-        """Memoized raw UA string → parsed equivalence class (ua_key).
-
-        Reads are lock-free: dict get/set are atomic under the GIL and
-        a racing recompute is benign (same result, idempotent insert).
-        """
-        memo = self._ua_class
-        ua_key = memo.get(user_agent, _MISSING)
-        if ua_key is not _MISSING:
-            return ua_key
-        try:
-            ua_key = parse_user_agent(user_agent).key()
-        except UserAgentError:
-            ua_key = None
-        if len(memo) >= _UA_MEMO_LIMIT:
-            memo.clear()
-        memo[user_agent] = ua_key
-        return ua_key
+        return self._ingest.ingest(wire)
 
     def _handle_request(self, request: _ScoreRequest) -> None:
         self.batcher.submit(request)

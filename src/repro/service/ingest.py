@@ -178,6 +178,15 @@ class PayloadValidator:
         """Whether ``session_id`` is inside the dedup window."""
         return bool(self._dedup_window) and session_id in self._seen_set
 
+    def dedup_state(self) -> tuple:
+        """The ``(window, ids_deque, id_set)`` triple, for bulk ingest.
+
+        :class:`~repro.runtime.fastingest.WireIngest` inlines the
+        :meth:`is_duplicate`/:meth:`remember` pair across a whole chunk
+        under one lock; the containers are shared, not copied.
+        """
+        return self._dedup_window, self._seen_ids, self._seen_set
+
     def remember(self, session_id: str) -> None:
         """Record an accepted session id in the dedup window."""
         if not self._dedup_window:

@@ -1,0 +1,263 @@
+"""Async ingest front end: real sockets, ordering, backpressure.
+
+Exercises :class:`~repro.service.aingest.AsyncIngestServer` the way a
+client sees it — over TCP — pinning the contract the tentpole claims:
+``POST /collect`` verdicts match the WSGI app byte-for-field, every
+other endpoint passes through to the same app, responses on one
+connection come back in request order even with pipelining, and the
+high-watermark pauses reads instead of shedding work.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+import pytest
+
+from repro.runtime.pool import OVERLOADED_REASON, overloaded_verdict
+from repro.service.aingest import AsyncIngestServer
+from repro.service.api import CollectionApp
+from repro.service.scoring import ScoringService
+from repro.traffic.replay import iter_wire_payloads
+
+
+@pytest.fixture(scope="module")
+def wires(small_dataset):
+    return [w for _, w in zip(range(200), iter_wire_payloads(small_dataset))]
+
+
+def _serve(service, **kwargs):
+    kwargs.setdefault("host", "127.0.0.1")
+    kwargs.setdefault("port", 0)  # ephemeral
+    return AsyncIngestServer(service, CollectionApp(service), **kwargs)
+
+
+def _request(port, method, path, body=b""):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        payload = response.read()
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        conn.close()
+
+
+def _pipeline(port, requests, timeout=15.0):
+    """Send raw pipelined requests; return responses in arrival order."""
+    rendered = b"".join(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        + body
+        for method, path, body in requests
+    )
+    responses = []
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(rendered)
+        buffer = b""
+        while len(responses) < len(requests):
+            while b"\r\n\r\n" not in buffer:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise AssertionError(
+                        f"connection closed after {len(responses)} responses"
+                    )
+                buffer += chunk
+            head, _, buffer = buffer.partition(b"\r\n\r\n")
+            status_line, *header_lines = head.decode("latin-1").split("\r\n")
+            length = next(
+                int(line.partition(":")[2])
+                for line in header_lines
+                if line.lower().startswith("content-length:")
+            )
+            while len(buffer) < length:
+                buffer += sock.recv(65536)
+            responses.append((status_line, buffer[:length]))
+            buffer = buffer[length:]
+    return responses
+
+
+class TestCollectParity:
+    def test_collect_verdicts_match_the_reference(self, trained, wires):
+        sample = wires[:40]
+        reference = ScoringService(trained)
+        expected = [
+            (v.accepted, v.flagged, v.risk_factor)
+            for v in (reference.score_wire(w) for w in sample)
+        ]
+        with _serve(ScoringService(trained)) as server:
+            actual = []
+            for wire in sample:
+                status, _, payload = _request(
+                    server.port, "POST", "/collect", wire
+                )
+                assert status == 202
+                document = json.loads(payload)
+                actual.append(
+                    (
+                        document["accepted"],
+                        document["flagged"],
+                        document["risk_factor"],
+                    )
+                )
+            assert actual == expected
+            assert server.collect_total == len(sample)
+
+    def test_malformed_wire_is_400_with_reason(self, trained):
+        with _serve(ScoringService(trained)) as server:
+            status, _, payload = _request(
+                server.port, "POST", "/collect", b"\x00 not json"
+            )
+            assert status == 400
+            assert json.loads(payload)["reject_reason"] == "malformed"
+
+    def test_overloaded_service_maps_to_503_with_retry_after(self):
+        class Saturated:
+            scored_count = 0
+            flagged_count = 0
+
+            def score_many(self, wires):
+                return [overloaded_verdict() for _ in wires]
+
+        with _serve(Saturated()) as server:
+            status, headers, payload = _request(
+                server.port, "POST", "/collect", b'{"sid":"x"}'
+            )
+            assert status == 503
+            assert headers.get("Retry-After") == "1"
+            assert json.loads(payload)["reject_reason"] == OVERLOADED_REASON
+
+    def test_post_without_length_is_411(self, trained):
+        with _serve(ScoringService(trained)) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                sock.sendall(b"POST /collect HTTP/1.1\r\nHost: t\r\n\r\n")
+                reply = sock.recv(65536)
+            assert reply.startswith(b"HTTP/1.1 411")
+
+
+class TestWsgiPassthrough:
+    def test_health_and_metrics_serve_through_the_bridge(
+        self, trained, wires
+    ):
+        with _serve(ScoringService(trained)) as server:
+            _request(server.port, "POST", "/collect", wires[0])
+            status, _, payload = _request(server.port, "GET", "/health")
+            assert status == 200
+            assert json.loads(payload)["status"] == "ok"
+            status, _, payload = _request(server.port, "GET", "/metrics")
+            assert status == 200
+            text = payload.decode()
+            # The WSGI app's series and this server's own, merged.
+            assert "polygraph_sessions_scored" in text
+            assert "polygraph_ingest_requests" in text
+            assert "polygraph_ingest_collect_requests 1" in text
+
+    def test_unknown_path_is_the_apps_404(self, trained):
+        with _serve(ScoringService(trained)) as server:
+            status, _, _ = _request(server.port, "GET", "/nope")
+            assert status == 404
+
+
+class TestKeepAliveOrdering:
+    def test_pipelined_responses_arrive_in_request_order(
+        self, trained, wires
+    ):
+        good, bad = wires[0], b"\x00 not json"
+        with _serve(ScoringService(trained)) as server:
+            responses = _pipeline(
+                server.port,
+                [
+                    ("POST", "/collect", good),
+                    ("POST", "/collect", bad),
+                    ("GET", "/health", b""),
+                    ("POST", "/collect", wires[1]),
+                ],
+            )
+        statuses = [line.split(" ", 1)[1] for line, _ in responses]
+        assert statuses[0].startswith("202")
+        assert statuses[1].startswith("400")
+        assert statuses[2].startswith("200")
+        assert statuses[3].startswith("202")
+
+    def test_connection_close_is_honored(self, trained, wires):
+        with _serve(ScoringService(trained)) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                body = wires[2]
+                sock.sendall(
+                    b"POST /collect HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                # The server must answer, then actually close: recv
+                # draining to EOF (instead of blocking on a kept-alive
+                # socket) is the proof.
+                reply = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    reply += chunk
+            assert reply.startswith(b"HTTP/1.1 202")
+
+
+class TestBatchingAndBackpressure:
+    def test_concurrent_collects_coalesce_into_batches(
+        self, trained, wires
+    ):
+        sample = wires[:30]
+        with _serve(
+            ScoringService(trained), batch_max=64, linger_ms=20.0
+        ) as server:
+            responses = _pipeline(
+                server.port,
+                [("POST", "/collect", w) for w in sample],
+                timeout=30.0,
+            )
+            assert all(
+                line.split(" ", 1)[1].startswith("202")
+                for line, _ in responses
+            )
+            assert server.batch_rows_total == len(sample)
+            # The linger let pipelined wires pile into shared batches.
+            assert server.batches_total < len(sample)
+
+    def test_high_watermark_pauses_reads_without_shedding(
+        self, trained, wires
+    ):
+        inner = ScoringService(trained)
+
+        class Slow:
+            scored_count = 0
+            flagged_count = 0
+
+            def score_many(self, batch):
+                time.sleep(0.02)
+                return [inner.score_wire(w) for w in batch]
+
+        sample = wires[40:60]
+        with _serve(
+            Slow(), batch_max=2, max_pending=2, linger_ms=0.0
+        ) as server:
+            responses = _pipeline(
+                server.port,
+                [("POST", "/collect", w) for w in sample],
+                timeout=30.0,
+            )
+            # Every wire is answered — backpressure stalls the socket
+            # rather than 503ing admitted work.
+            assert len(responses) == len(sample)
+            assert all(
+                line.split(" ", 1)[1].startswith("202")
+                for line, _ in responses
+            )
+            assert server.backpressure_pauses > 0

@@ -260,6 +260,7 @@ def test_build_cluster_serves_a_router(artifacts):
         model=model_path, shards=2, shard_backend="thread",
         affinity="session", hedge_ms=None, workers=1, batch_size=16,
         linger_ms=1.0, queue_capacity=256, cache_entries=128, cache_ttl=60.0,
+        transport="shm", ring_slots=256,
     )
     router, managers = _build_cluster(args, None)
     try:

@@ -1,0 +1,427 @@
+"""Shared-memory shard transport: slab, slot ring, bulk paths, failures.
+
+The contract under test is the one the transport ISSUE pins down: the
+slot ring backpressures instead of dropping work, a crashed child
+re-attaches the *same* slab after restart, the pickle fallback keeps
+serving (and counts) when shared memory is unavailable, and the bulk
+router-side paths (``ingest_many``, ``get_many``) are observably
+identical to their per-wire equivalents.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    RouterConfig,
+    ShardSupervisor,
+)
+from repro.cluster.transport import ShmSlab, SlotRing, attach_slab_views
+from repro.runtime.cache import VerdictCache
+from repro.runtime.fastingest import WireIngest
+from repro.runtime.service import RuntimeConfig
+from repro.service.ingest import RejectReason
+from repro.service.scoring import ScoringService
+from repro.traffic.replay import iter_wire_payloads
+
+
+def _essence(verdict):
+    return (
+        verdict.session_id,
+        verdict.accepted,
+        verdict.flagged,
+        verdict.risk_factor,
+        verdict.reject_reason,
+    )
+
+
+@pytest.fixture(scope="module")
+def wires(small_dataset):
+    return [w for _, w in zip(range(300), iter_wire_payloads(small_dataset))]
+
+
+# ----------------------------------------------------------------------
+# slot ring
+
+
+class TestSlotRing:
+    def test_lease_release_roundtrip(self):
+        ring = SlotRing(8)
+        assert ring.occupancy == 0
+        start, count = ring.lease(5)
+        assert (start, count) == (0, 5)
+        assert ring.occupancy == 5
+        ring.release(5)
+        assert ring.occupancy == 0
+
+    def test_short_lease_at_ring_edge_then_wraparound(self):
+        ring = SlotRing(4)
+        assert ring.lease(3) == (0, 3)
+        # Only one slot remains before the edge: the lease is short.
+        assert ring.lease(3) == (3, 1)
+        assert ring.lease(1) is None  # full
+        ring.release(3)  # oldest run (FIFO)
+        # The head sits at the edge; the next lease wraps to slot 0.
+        assert ring.lease(3) == (0, 3)
+        assert ring.occupancy == 4
+
+    def test_lease_returns_none_only_when_full(self):
+        ring = SlotRing(2)
+        assert ring.lease(2) == (0, 2)
+        assert ring.lease(1) is None
+        ring.release(1)
+        assert ring.lease(1) is not None
+
+    def test_release_validates_against_over_free(self):
+        ring = SlotRing(4)
+        with pytest.raises(ValueError):
+            ring.release(1)  # nothing leased
+        ring.lease(2)
+        with pytest.raises(ValueError):
+            ring.release(3)
+
+    def test_lease_validates_want(self):
+        ring = SlotRing(4)
+        with pytest.raises(ValueError):
+            ring.lease(0)
+
+    def test_single_slot_ring(self):
+        ring = SlotRing(1)
+        assert ring.lease(5) == (0, 1)
+        assert ring.lease(1) is None
+        ring.release(1)
+        assert ring.lease(1) == (0, 1)
+
+
+# ----------------------------------------------------------------------
+# slab create / attach
+
+
+class TestShmSlab:
+    def test_attached_views_share_the_parent_buffer(self):
+        slab = ShmSlab(4, 3)
+        try:
+            slab.rows[2] = (1.5, 2.5, 3.5)
+            slab.meta[2] = 42
+            meta, results, rows, close = attach_slab_views(slab.name, 4, 3)
+            try:
+                assert list(rows[2]) == [1.5, 2.5, 3.5]
+                assert meta[2] == 42
+                # Writes from the attached side flow back (the child
+                # writes results in place; the parent reads them).
+                results[2] = (1, 1, 9, 0)
+                assert list(slab.results[2]) == [1, 1, 9, 0]
+            finally:
+                results = rows = meta = None
+                close()
+        finally:
+            slab.close()
+
+    def test_attach_rejects_header_mismatch(self):
+        slab = ShmSlab(4, 3)
+        try:
+            with pytest.raises(ValueError):
+                attach_slab_views(slab.name, 2, 3)
+        finally:
+            slab.close()
+
+    def test_attach_missing_slab_raises(self):
+        with pytest.raises((OSError, FileNotFoundError)):
+            attach_slab_views("polygraph-no-such-slab", 4, 3)
+
+    def test_slab_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            ShmSlab(0, 3)
+        with pytest.raises(ValueError):
+            ShmSlab(4, 0)
+
+
+# ----------------------------------------------------------------------
+# bulk router-side paths: parity with the per-wire equivalents
+
+
+class TestIngestManyParity:
+    def _mixed_wires(self, wires):
+        good = wires[:20]
+        return (
+            good
+            + [good[0]]  # duplicate sid
+            + [b"\x00 not json"]  # malformed
+            + [good[1][:40]]  # truncated json
+            + [good[2].replace(b'"f":[', b'"f":[999999,', 1)]  # range
+        )
+
+    def test_bulk_outcomes_match_sequential_ingest(self, wires):
+        mixed = self._mixed_wires(wires)
+        sequential = WireIngest()
+        expected = [sequential.ingest(w) for w in mixed]
+        bulk = WireIngest()
+        outcomes = bulk.ingest_many(mixed)
+        assert len(outcomes) == len(mixed)
+        for outcome, (reason, fields) in zip(outcomes, expected):
+            if reason is None:
+                assert outcome == fields
+            else:
+                assert outcome is reason
+
+    def test_bulk_counters_match_sequential_ingest(self, wires):
+        mixed = self._mixed_wires(wires)
+        sequential = WireIngest()
+        for wire in mixed:
+            sequential.ingest(wire)
+        bulk = WireIngest()
+        bulk.ingest_many(mixed)
+        assert bulk.requests_total == sequential.requests_total
+        assert bulk.rejected_count == sequential.rejected_count
+        assert (
+            bulk.validator.accepted_count
+            == sequential.validator.accepted_count
+        )
+        assert (
+            bulk.validator.quarantine.counts()
+            == sequential.validator.quarantine.counts()
+        )
+
+    def test_bulk_dedup_window_evicts_like_sequential(self, wires):
+        # A window of 3 with 5 admitted wires: the first two fall out,
+        # so re-sending them is NOT a duplicate, but the last is.
+        from repro.service.ingest import PayloadValidator
+
+        sample = wires[:5]
+        replay = [sample[0], sample[4]]
+        sequential = WireIngest(PayloadValidator(dedup_window=3))
+        expected = [sequential.ingest(w)[0] for w in sample + replay]
+        bulk = WireIngest(PayloadValidator(dedup_window=3))
+        outcomes = bulk.ingest_many(sample + replay)
+        assert [
+            o if isinstance(o, RejectReason) else None for o in outcomes
+        ] == expected
+        assert outcomes[-1] is RejectReason.DUPLICATE
+        assert isinstance(outcomes[-2], tuple)
+
+
+class TestGetManyParity:
+    def _loaded_pair(self, clock):
+        caches = []
+        for _ in range(2):
+            cache = VerdictCache(
+                max_entries=8, ttl_seconds=10.0, clock=clock
+            )
+            for i in range(4):
+                cache.put(("ua", (i,)), f"verdict-{i}")
+            caches.append(cache)
+        return caches
+
+    def test_results_and_counters_match_sequential_get(self):
+        now = [100.0]
+        reference, bulk = self._loaded_pair(lambda: now[0])
+        keys = [
+            ("ua", (0,)),
+            None,  # rejected position: passes through untouched
+            ("ua", (9,)),  # miss
+            ("ua", (1,)),
+            ("ua", (0,)),  # repeat hit
+        ]
+        expected = [
+            None if k is None else reference.get(k) for k in keys
+        ]
+        assert bulk.get_many(keys) == expected
+        assert bulk.hits == reference.hits
+        assert bulk.misses == reference.misses
+        assert bulk.expirations == reference.expirations
+
+    def test_ttl_expiry_matches_sequential_get(self):
+        now = [100.0]
+        reference, bulk = self._loaded_pair(lambda: now[0])
+        now[0] = 111.0  # past the 10s TTL
+        keys = [("ua", (0,)), ("ua", (1,))]
+        expected = [reference.get(k) for k in keys]
+        assert bulk.get_many(keys) == expected == [None, None]
+        assert bulk.expirations == reference.expirations == 2
+        assert len(bulk) == len(reference)
+
+    def test_lru_touch_matches_sequential_get(self):
+        now = [100.0]
+        reference, bulk = self._loaded_pair(lambda: now[0])
+        reference.get(("ua", (0,)))
+        bulk.get_many([("ua", (0,))])
+        # Fill both to capacity: the eviction victims must coincide
+        # (the get refreshed entry 0, so entry 1 goes first).
+        for cache in (reference, bulk):
+            for i in range(4, 9):
+                cache.put(("ua", (i,)), f"verdict-{i}")
+        for probe in range(9):
+            key = ("ua", (probe,))
+            assert (key in bulk) == (key in reference), probe
+
+
+# ----------------------------------------------------------------------
+# transport failure modes (process shards)
+
+
+class TestTransportFailureModes:
+    def test_tiny_ring_backpressures_without_losing_work(self, trained, wires):
+        """Slot exhaustion stalls the producer; every wire is answered."""
+        sample = wires[:120]
+        reference = ScoringService(trained)
+        expected = [_essence(reference.score_wire(w)) for w in sample]
+        supervisor = ShardSupervisor.from_polygraph(
+            trained,
+            config=ClusterConfig(
+                n_shards=1,
+                backend="process",
+                transport="shm",
+                ring_slots=8,
+                heartbeat_interval_s=5.0,
+            ),
+            # No verdict cache: every admitted wire crosses the ring.
+            runtime_config=RuntimeConfig(cache_entries=0),
+        )
+        router = ClusterRouter(supervisor).start()
+        try:
+            verdicts = router.score_many(sample)
+            assert [_essence(v) for v in verdicts] == expected
+            stats = supervisor.shards["s0"].transport_stats()
+            assert stats["mode"] == "shm"
+            assert stats["ring_slots"] == 8
+            assert stats["backpressure_waits"] > 0
+            assert stats["ring_occupancy"] == 0  # all drained
+            assert stats["ring_occupancy_peak"] == 8
+            assert stats["zero_copy_rows"] == sum(
+                1 for v in verdicts if v.accepted
+            )
+        finally:
+            router.shutdown()
+
+    def test_crash_mid_batch_restarts_and_reattaches_the_slab(
+        self, trained, wires
+    ):
+        supervisor = ShardSupervisor.from_polygraph(
+            trained,
+            config=ClusterConfig(
+                n_shards=2,
+                backend="process",
+                transport="shm",
+                heartbeat_interval_s=0.05,
+            ),
+        )
+        router = ClusterRouter(supervisor).start()
+        try:
+            slab_names = {
+                shard_id: shard._slab.name
+                for shard_id, shard in supervisor.shards.items()
+            }
+            half = len(wires) // 2
+            first = router.score_many(wires[:half])
+            supervisor.kill("s0")
+            second = router.score_many(wires[half:])
+            # Nothing is lost: the router re-routes around the corpse.
+            reference = ScoringService(trained)
+            expected = [_essence(reference.score_wire(w)) for w in wires]
+            assert [_essence(v) for v in first + second] == expected
+            deadline = time.time() + 15.0
+            while time.time() < deadline and supervisor.healthy_count < 2:
+                time.sleep(0.05)
+            assert supervisor.healthy_count == 2
+            assert supervisor.restarts("s0") == 1
+            # The slab outlives the child: the restarted process
+            # attached the same segment, and scoring still works.
+            assert {
+                shard_id: shard._slab.name
+                for shard_id, shard in supervisor.shards.items()
+            } == slab_names
+            # Fresh session ids (the originals sit in dedup windows).
+            fresh = [
+                w.replace(b'{"sid":"', b'{"sid":"r2-', 1)
+                for w in wires[:40]
+            ]
+            fresh_expected = [
+                _essence(ScoringService(trained).score_wire(w))
+                for w in fresh
+            ]
+            again = router.score_many(fresh)
+            assert [_essence(v) for v in again] == fresh_expected
+            assert supervisor.shards["s0"].transport_stats()["mode"] == "shm"
+        finally:
+            router.shutdown()
+
+    def test_thread_and_shm_backends_agree(self, trained, wires):
+        sample = wires[:100]
+        outcomes = []
+        for backend, transport in (("thread", "shm"), ("process", "shm")):
+            supervisor = ShardSupervisor.from_polygraph(
+                trained,
+                config=ClusterConfig(
+                    n_shards=2,
+                    backend=backend,
+                    transport=transport,
+                    heartbeat_interval_s=5.0,
+                ),
+            )
+            router = ClusterRouter(supervisor).start()
+            try:
+                outcomes.append(
+                    [_essence(v) for v in router.score_many(sample)]
+                )
+            finally:
+                router.shutdown()
+        assert outcomes[0] == outcomes[1]
+
+    def test_pickle_fallback_serves_and_counts(
+        self, trained, wires, monkeypatch
+    ):
+        """shm requested but unavailable: pickle serves, and says so."""
+        import repro.cluster.supervisor as supervisor_mod
+
+        def no_shm(*args, **kwargs):
+            raise OSError("shared memory unavailable")
+
+        monkeypatch.setattr(supervisor_mod, "ShmSlab", no_shm)
+        sample = wires[:50]
+        reference = ScoringService(trained)
+        expected = [_essence(reference.score_wire(w)) for w in sample]
+        supervisor = ShardSupervisor.from_polygraph(
+            trained,
+            config=ClusterConfig(
+                n_shards=1,
+                backend="process",
+                transport="shm",
+                heartbeat_interval_s=5.0,
+            ),
+        )
+        router = ClusterRouter(supervisor).start()
+        try:
+            verdicts = router.score_many(sample)
+            assert [_essence(v) for v in verdicts] == expected
+            shard = supervisor.shards["s0"]
+            assert shard.pickle_fallback_wires == len(sample)
+            stats = shard.transport_stats()
+            assert stats["mode"] == "pickle"
+            assert stats["pickle_fallbacks"] == len(sample)
+            text = "\n".join(router.runtime_metrics_lines())
+            assert 'polygraph_transport_shm_mode{shard="s0"} 0' in text
+            assert (
+                f'polygraph_transport_pickle_fallbacks_total{{shard="s0"}} '
+                f"{len(sample)}" in text
+            )
+        finally:
+            router.shutdown()
+
+    def test_transport_metrics_absent_for_thread_clusters(
+        self, trained, wires
+    ):
+        supervisor = ShardSupervisor.from_polygraph(
+            trained,
+            config=ClusterConfig(n_shards=2, heartbeat_interval_s=5.0),
+        )
+        router = ClusterRouter(supervisor).start()
+        try:
+            router.score_many(wires[:20])
+            text = "\n".join(router.runtime_metrics_lines())
+            assert "polygraph_transport_" not in text
+        finally:
+            router.shutdown()
