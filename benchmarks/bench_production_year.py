@@ -21,22 +21,32 @@ Acceptance gates (full run):
   under 2%;
 * p99 latency on the churn day (shard killed mid-ramp) stays under
   250 ms;
+* with coverage intelligence on (the default), the unknown-UA blind
+  window is measurably closed: unknown-UA detection rate and mean
+  release-to-retrain lag must clear their floors/ceilings (the
+  ``--coverage off`` baseline replays PR 8's reactive behaviour, where
+  unknown-UA detection is ~0 and the lag is whatever the alarm path
+  happens to deliver);
 * **bit-determinism**: a shorter window replayed twice with identical
   seeds produces identical ledger digests.
 
 ``--smoke`` (CI) replays a 30-day window twice with tightened sizes:
 the determinism, retrain and rollback gates still apply; the
-promotion-completed and detection-floor gates are full-run-only.
+promotion-completed, detection-floor and blind-window gates are
+full-run-only.
 
 Results land in ``BENCH_gauntlet.json``::
 
     PYTHONPATH=src python benchmarks/bench_production_year.py
     PYTHONPATH=src python benchmarks/bench_production_year.py --smoke
+    PYTHONPATH=src python benchmarks/bench_production_year.py \
+        --smoke --coverage off --output BENCH_gauntlet_baseline.json
 """
 
 import argparse
 import sys
 import time
+from dataclasses import replace
 from datetime import date
 from pathlib import Path
 from typing import List
@@ -61,6 +71,21 @@ CAT1_FLOOR = 0.60
 CAT2_FLOOR = 0.40
 FP_CEILING = 0.02
 P99_CHURN_GATE_MS = 250.0
+
+# Blind-window gates, full coverage-on runs only.  The ``--coverage
+# off`` baseline leaves unknown-UA detection near zero and the mean
+# release-to-retrain lag near double digits; with the planner plus the
+# "infer" interim policy both must clear these bars (observed at
+# seed 7: detection 0.216, mean lag 2.6 days).
+UNKNOWN_DETECTION_FLOOR = 0.15
+RETRAIN_LAG_CEILING_DAYS = 5.0
+
+
+def apply_coverage_mode(config: GauntletConfig, coverage: bool) -> GauntletConfig:
+    """Flip a config between coverage-on and the PR 8 reactive baseline."""
+    if coverage:
+        return config
+    return replace(config, coverage=False, unknown_ua_policy="ignore")
 
 
 def full_config(seed: int) -> GauntletConfig:
@@ -106,15 +131,23 @@ def _main() -> int:
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--coverage",
+        choices=("on", "off"),
+        default="on",
+        help="'off' replays the reactive baseline (no tracker/planner, "
+        "unknown_ua_policy='ignore') for blind-window A/B diffs",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_gauntlet.json"),
     )
     args = parser.parse_args()
 
     failures: List[str] = []
+    coverage = args.coverage == "on"
 
     # -- determinism proof: replay the short window twice --------------
-    det_config = smoke_config(args.seed)
+    det_config = apply_coverage_mode(smoke_config(args.seed), coverage)
     started = time.perf_counter()
     first = run_gauntlet(det_config)
     first_elapsed = time.perf_counter() - started
@@ -135,7 +168,7 @@ def _main() -> int:
     if args.smoke:
         result, elapsed = first, first_elapsed
     else:
-        config = full_config(args.seed)
+        config = apply_coverage_mode(full_config(args.seed), coverage)
         started = time.perf_counter()
         result = run_gauntlet(config)
         elapsed = time.perf_counter() - started
@@ -175,12 +208,27 @@ def _main() -> int:
         fp = summary["false_positive_rate"] or 0.0
         if fp > FP_CEILING:
             failures.append(f"false-positive rate {fp:.3f} above {FP_CEILING}")
+        if coverage:
+            unknown_rate = summary["unknown_ua_detection_rate"] or 0.0
+            if unknown_rate < UNKNOWN_DETECTION_FLOOR:
+                failures.append(
+                    f"unknown-UA detection {unknown_rate:.2f} below "
+                    f"{UNKNOWN_DETECTION_FLOOR} (blind window still open)"
+                )
+            lag = summary["mean_retrain_lag_days"]
+            if lag is None or lag > RETRAIN_LAG_CEILING_DAYS:
+                failures.append(
+                    f"mean retrain lag {lag} days above "
+                    f"{RETRAIN_LAG_CEILING_DAYS} (planner not closing the "
+                    "release gap)"
+                )
 
     write_gauntlet_json(
         result,
         args.output,
         extra={
             "smoke": args.smoke,
+            "coverage": coverage,
             "elapsed_s": round(elapsed, 2),
             "determinism": {
                 "window_days": det_config.days,

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import subprocess
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -90,7 +90,11 @@ def _is_throughput(name: str) -> bool:
 
 
 def diff_bench_documents(
-    old: Dict, new: Dict, max_regress: float = 0.15
+    old: Dict,
+    new: Dict,
+    max_regress: float = 0.15,
+    lower_is_better: Sequence[str] = (),
+    extra_gates: Sequence[str] = (),
 ) -> Dict:
     """Compare two documents of the same benchmark, cell by cell.
 
@@ -100,9 +104,16 @@ def diff_bench_documents(
     (``*_per_s``, ``*_wps``, ``*throughput*``) additionally *gate*: a
     drop of more than ``max_regress`` (relative) is a regression.
 
+    ``extra_gates`` adds named metrics to the gated set with the same
+    higher-is-better direction; names in ``lower_is_better`` gate in the
+    opposite direction (a *rise* of more than ``max_regress`` regresses
+    — latency, lag, error rates).  A name in both is lower-is-better.
+
     Returns ``{"rows": [...], "regressions": [...]}`` where each row is
     ``(cell, metric, old, new, rel_change, gated)``.
     """
+    lower = set(lower_is_better)
+    gates = set(extra_gates) | lower
     old_cells = {
         cell.get("cell", f"#{i}"): cell
         for i, cell in enumerate(old.get("cells", []))
@@ -126,9 +137,18 @@ def diff_bench_documents(
             if isinstance(a, bool) or isinstance(b, bool):
                 continue
             change = (b - a) / a if a else (0.0 if b == a else float("inf"))
-            gated = _is_throughput(metric)
+            gated = _is_throughput(metric) or metric in gates
             rows.append((name, metric, a, b, change, gated))
-            if gated and change < -max_regress:
+            if not gated:
+                continue
+            if metric in lower:
+                if change > max_regress:
+                    regressions.append(
+                        f"{name}.{metric}: {a:g} -> {b:g} "
+                        f"({100 * change:+.1f}% > +{100 * max_regress:.0f}%,"
+                        " lower is better)"
+                    )
+            elif change < -max_regress:
                 regressions.append(
                     f"{name}.{metric}: {a:g} -> {b:g} "
                     f"({100 * change:+.1f}% < -{100 * max_regress:.0f}%)"
@@ -145,7 +165,13 @@ def _cmd_diff(args) -> int:
             f"{new.get('benchmark')}"
         )
         return 2
-    result = diff_bench_documents(old, new, max_regress=args.max_regress)
+    result = diff_bench_documents(
+        old,
+        new,
+        max_regress=args.max_regress,
+        lower_is_better=args.lower_is_better,
+        extra_gates=args.gate,
+    )
     shown = 0
     for cell, metric, a, b, change, gated in result["rows"]:
         if args.all or gated or abs(change) > 0.01:
@@ -185,6 +211,21 @@ def main(argv=None) -> int:
     )
     diff.add_argument(
         "--all", action="store_true", help="print unchanged metrics too"
+    )
+    diff.add_argument(
+        "--gate",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="additionally gate this metric, higher is better (repeatable)",
+    )
+    diff.add_argument(
+        "--lower-is-better",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="gate this metric in the falling direction — a rise beyond "
+        "--max-regress fails (latency, lag, error rates; repeatable)",
     )
     args = parser.parse_args(argv)
     return _cmd_diff(args)

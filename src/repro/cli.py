@@ -267,6 +267,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lift threshold for the second opinion to count as "
         "fraud-grade (default: policy default)",
     )
+    serve.add_argument(
+        "--coverage",
+        action="store_true",
+        help="track release coverage: classify every UA against the "
+        "live model's release table, keep per-vendor unknown-UA rates "
+        "with release-calendar bands, and expose GET /coverage plus "
+        "polygraph_coverage_* metrics",
+    )
 
     cluster = sub.add_parser(
         "cluster", help="inspect a running sharded cluster"
@@ -283,6 +291,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sessions.add_argument("action", choices=["status"])
     sessions.add_argument(
+        "--url",
+        default="http://127.0.0.1:8040",
+        help="base URL of the serving endpoint",
+    )
+
+    coverage = sub.add_parser(
+        "coverage", help="inspect a server's release-coverage tracker"
+    )
+    coverage.add_argument("action", choices=["status"])
+    coverage.add_argument(
         "--url",
         default="http://127.0.0.1:8040",
         help="base URL of the serving endpoint",
@@ -728,7 +746,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_sessions=args.session_max,
             )
             mode += f", session streams (ttl {args.session_ttl:g}s)"
-    app = CollectionApp(service, sessions=sessions)
+    coverage_tracker = None
+    if args.coverage:
+        from datetime import date as _date
+
+        from repro.coverage import CoverageTracker
+
+        # The bound method keeps the tracker's day current without the
+        # tracker itself calling wall-clock functions at import time.
+        coverage_tracker = CoverageTracker(clock=_date.today)
+        service.attach_coverage(coverage_tracker)
+        mode += ", coverage"
+    app = CollectionApp(service, sessions=sessions, coverage=coverage_tracker)
     if args.ingest == "async":
         from repro.service.aingest import AsyncIngestServer
 
@@ -751,6 +780,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if sessions is not None:
             endpoints += ", POST /event, GET /session/{id}, GET /sessions"
+        if coverage_tracker is not None:
+            endpoints += ", GET /coverage"
         if getattr(service, "fusion", None) is not None:
             endpoints += ", POST /check, GET /fusion"
         print(
@@ -848,6 +879,55 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
             f"{log['sealed_events']} sealed + {log['buffered_events']} "
             f"buffered events, {log['pruned_segments']} pruned"
         )
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    import json as _json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    endpoint = args.url.rstrip("/") + "/coverage"
+    try:
+        with urlopen(endpoint, timeout=5.0) as response:
+            document = _json.load(response)
+    except HTTPError as exc:
+        if exc.code == 404:
+            print(f"{args.url} is serving without coverage tracking")
+            return 1
+        print(f"coverage status: {endpoint} answered {exc.code}", file=sys.stderr)
+        return 2
+    except (URLError, OSError) as exc:
+        print(f"coverage status: cannot reach {endpoint}: {exc}", file=sys.stderr)
+        return 2
+    generation = document["model_generation"]
+    print(
+        f"{document['known_releases']} known releases"
+        + (f" (model generation {generation})" if generation is not None else "")
+        + (f", band day {document['day']}" if document["day"] else "")
+    )
+    print(
+        f"  {'vendor':<8}  {'observed':>9}  {'unknown':>8}  "
+        f"{'window rate':>11}  {'band high':>9}  status"
+    )
+    for vendor, stats in document["vendors"].items():
+        if stats["out_of_band"]:
+            status = "OUT OF BAND"
+        elif stats["adopting"]:
+            status = "adopting"
+        else:
+            status = "ok"
+        print(
+            f"  {vendor:<8}  {stats['observed']:>9}  {stats['unknown']:>8}  "
+            f"{stats['window_unknown_rate']:>11.4f}  {stats['band_high']:>9.4f}"
+            f"  {status}"
+        )
+    if document["top_unknown"]:
+        top = ", ".join(
+            f"{entry['ua_key']} ({entry['count']})"
+            for entry in document["top_unknown"]
+        )
+        print(f"  top unknown: {top}")
     return 0
 
 
@@ -1068,6 +1148,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
         "sessions": _cmd_sessions,
+        "coverage": _cmd_coverage,
         "rollout": _cmd_rollout,
         "fuse": _cmd_fuse,
         "bench-runtime": _cmd_bench_runtime,

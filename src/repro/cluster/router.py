@@ -162,6 +162,8 @@ class ClusterRouter:
         # change (shard death, restart, scale events).
         self._route_memo: Dict[bytes, str] = {}
         self._route_epoch = -1
+        # Optional cluster-wide CoverageTracker (repro.coverage).
+        self.coverage = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -176,6 +178,21 @@ class ClusterRouter:
     @property
     def rollout(self):
         return self.supervisor.rollout
+
+    def attach_coverage(self, tracker) -> "ClusterRouter":
+        """Share one CoverageTracker across the whole cluster.
+
+        Seeds the known-release table from the router's reference
+        replica, then propagates the tracker to every shard via the
+        supervisor.
+        """
+        generation, detector = self.polygraph.detection_snapshot()
+        tracker.set_known_keys(
+            detector.model.ua_to_cluster, generation=generation
+        )
+        self.supervisor.attach_coverage(tracker)
+        self.coverage = tracker
+        return self
 
     # ------------------------------------------------------------------
     # scoring
@@ -504,6 +521,14 @@ class ClusterRouter:
                 f'{shard["restarts"]}'
             )
         lines.extend(self._transport_metrics_lines())
+        unknown = self.supervisor.unknown_ua_counts()
+        for vendor in sorted(unknown):
+            lines.append(
+                f'polygraph_unknown_ua_total{{vendor="{vendor}"}} '
+                f"{unknown[vendor]}"
+            )
+        if self.coverage is not None:
+            lines.extend(self.coverage.metrics_lines())
         return lines
 
     _TRANSPORT_METRICS = (

@@ -149,6 +149,9 @@ class ThreadShard:
         _verify_replica(self.model_path, expected_digest)
         self.polygraph = BrowserPolygraph.load(self.model_path)
         self.service: Optional[RuntimeScoringService] = None
+        # Cluster-shared CoverageTracker (set by the supervisor); every
+        # (re)started runtime re-attaches it.
+        self.coverage = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -157,6 +160,8 @@ class ThreadShard:
             self.service = RuntimeScoringService(
                 self.polygraph, config=self.runtime_config
             ).start()
+            if self.coverage is not None:
+                self.service.attach_coverage(self.coverage)
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -183,6 +188,8 @@ class ThreadShard:
         self.service = RuntimeScoringService(
             self.polygraph, config=self.runtime_config
         ).start()
+        if self.coverage is not None:
+            self.service.attach_coverage(self.coverage)
 
     # -- serving --------------------------------------------------------
 
@@ -466,6 +473,10 @@ class ProcessShard:
         self._slab: Optional[ShmSlab] = None
         self._transport: Optional[ShmTransport] = None
         self.pickle_fallback_wires = 0  # wires over pickle while shm requested
+        # Cluster-shared CoverageTracker; applied to each fresh shm
+        # transport (pickle-fallback wires are not fed — the routed
+        # pickle path has no parent-side ingest to observe).
+        self.coverage = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -526,6 +537,7 @@ class ProcessShard:
                     vendor_risk=vendor_risk,
                     generation=generation,
                 )
+                self._transport.coverage = self.coverage
         self._alive = True
         if self._transport is None:
             self._io_thread = threading.Thread(
@@ -673,6 +685,14 @@ class ProcessShard:
             # derived parse state, pinned to the child's new generation
             # so in-flight stale batch results are refused.
             self._transport.on_model_swap(reply[2])
+            if self.coverage is not None:
+                # Re-seed the shared tracker's known-release table from
+                # the replica the child just adopted (installs are rare;
+                # one parent-side load keeps classification aligned).
+                replica = BrowserPolygraph.load(path)
+                self.coverage.set_known_keys(
+                    replica.cluster_model.ua_to_cluster, generation=reply[2]
+                )
         self.model_path = Path(path)
         self.model_version = version
         return version
@@ -1086,6 +1106,47 @@ class ShardSupervisor:
     def rollout(self):
         """The first shard's rollout manager (``/rollout`` endpoint)."""
         return self.rollout_managers[0] if self.rollout_managers else None
+
+    # -- coverage -------------------------------------------------------
+
+    def attach_coverage(self, tracker) -> None:
+        """Share one CoverageTracker across every shard's scoring path.
+
+        Thread shards feed it from their runtimes (and re-sync its
+        known-release table on model swaps); shm process shards feed
+        admitted UA keys from the router-side transport ingest.  Shards
+        re-apply the tracker on restart.
+        """
+        with self._lock:
+            for shard in self.shards.values():
+                shard.coverage = tracker
+                service = getattr(shard, "service", None)
+                if service is not None:
+                    service.attach_coverage(tracker)
+                transport = getattr(shard, "_transport", None)
+                if transport is not None:
+                    transport.coverage = tracker
+
+    def unknown_ua_counts(self) -> Dict[str, int]:
+        """Per-vendor unknown-UA totals summed across shard-local runtimes.
+
+        Thread shards count in-process; process shards keep the counter
+        child-side, so they contribute only through the coverage
+        tracker's ``polygraph_coverage_unknown_total`` when one is
+        attached.
+        """
+        totals: Dict[str, int] = {}
+        with self._lock:
+            shards = list(self.shards.values())
+        for shard in shards:
+            counts = getattr(
+                getattr(shard, "service", None), "unknown_ua_counts", None
+            )
+            if not counts:
+                continue
+            for vendor, count in dict(counts).items():
+                totals[vendor] = totals.get(vendor, 0) + count
+        return totals
 
     # -- introspection --------------------------------------------------
 

@@ -335,6 +335,9 @@ class ShmTransport:
         self._vendor_risk = vendor_risk
         self._seq = 0
         self.broken = False
+        # Optional CoverageTracker (repro.coverage), shared across the
+        # cluster's transports; fed with admitted UA keys per chunk.
+        self.coverage = None
         self.scored_count = 0
         self.flagged_count = 0
         self.zero_copy_batches = 0
@@ -367,6 +370,10 @@ class ShmTransport:
         started = time.perf_counter()
         verdicts: List[Optional[Verdict]] = [None] * len(wires)
         prepared = self.ingest.ingest_many(wires)
+        if self.coverage is not None:
+            self.coverage.observe_many(
+                [f[4] for f in prepared if f.__class__ is tuple]
+            )
         cache = self.cache
         if cache is not None:
             # Rejected wires carry their RejectReason in ``prepared``;
@@ -405,12 +412,15 @@ class ShmTransport:
         # per-chunk proto dicts; each verdict is a dict copy plus the
         # per-wire fields, swapped in wholesale (``__init__`` would
         # re-run ten guarded ``object.__setattr__`` calls per wire).
+        # Infer-mode provenance never crosses the slab (results rows are
+        # four ints), so the inferred_* fields stay None on this path.
         reject_proto = {
             "session_id": "", "accepted": False, "flagged": False,
             "risk_factor": None, "reject_reason": None,
             "latency_ms": latency_ms, "fused_flagged": None,
             "fusion_cell": None, "second_probability": None,
-            "second_lift": None,
+            "second_lift": None, "inferred_release": None,
+            "inferred_distance": None,
         }
         hit_proto = dict(reject_proto)
         hit_proto["accepted"] = True

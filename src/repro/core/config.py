@@ -36,7 +36,11 @@ class PipelineConfig:
     vendor_mismatch_risk: int = 20
     version_divisor: int = 4
     # What to do with user-agents outside the trained table: "ignore"
-    # (paper behaviour: out of scope, not flagged) or "flag".
+    # (paper behaviour: out of scope, not flagged), "flag", or "infer"
+    # (score against the nearest known release of the same vendor and
+    # engine, with provenance on the result — the interim coverage mode
+    # that bridges the blind window between a release shipping and the
+    # next retrain absorbing it).
     unknown_ua_policy: str = "ignore"
     # Section 8 extension: escalate sessions whose collection payload
     # carries fraud-browser namespace artifacts (ANTBROWSER and friends)
@@ -52,8 +56,10 @@ class PipelineConfig:
             raise ValueError("outlier_contamination must lie in (0, 0.5)")
         if self.version_divisor < 1:
             raise ValueError("version_divisor must be >= 1")
-        if self.unknown_ua_policy not in ("ignore", "flag"):
-            raise ValueError("unknown_ua_policy must be 'ignore' or 'flag'")
+        if self.unknown_ua_policy not in ("ignore", "flag", "infer"):
+            raise ValueError(
+                "unknown_ua_policy must be 'ignore', 'flag' or 'infer'"
+            )
 
     def with_overrides(self, **kwargs) -> "PipelineConfig":
         """Copy with selected fields replaced (sensitivity sweeps)."""

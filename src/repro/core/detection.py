@@ -10,17 +10,20 @@ For every incoming session the detector:
 
 Sessions whose user-agent is outside the trained table are out of scope
 for the paper (mobile browsers, exotic engines); the
-``unknown_ua_policy`` config decides whether they are ignored (default)
-or flagged.
+``unknown_ua_policy`` config decides whether they are ignored (default),
+flagged, or scored against the nearest known release of the same vendor
+and engine (``"infer"`` — the interim coverage mode that bridges the
+blind window between a release shipping and the next retrain).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.browsers.releases import engine_for_vendor
 from repro.browsers.useragent import (
     ParsedUserAgent,
     UserAgentError,
@@ -36,18 +39,32 @@ __all__ = ["DetectionReport", "DetectionResult", "FraudDetector"]
 
 @dataclass(frozen=True)
 class DetectionResult:
-    """Outcome of evaluating one session."""
+    """Outcome of evaluating one session.
+
+    Under ``unknown_ua_policy="infer"`` an unknown release is scored
+    against the nearest known release of the same vendor *and* engine;
+    ``inferred_release`` / ``inferred_distance`` record that mapping so
+    downstream consumers (the risk engine, the coverage tracker) can
+    tell an exact table hit from an interim nearest-release verdict.
+    """
 
     ua_key: str
     predicted_cluster: int
     expected_cluster: Optional[int]
     flagged: bool
     risk_factor: Optional[int]
+    inferred_release: Optional[str] = None
+    inferred_distance: Optional[int] = None
 
     @property
     def known_ua(self) -> bool:
-        """Whether the claimed user-agent exists in the trained table."""
-        return self.expected_cluster is not None
+        """Whether the claimed user-agent exists in the trained table.
+
+        An inferred verdict scored against a *neighbouring* release is
+        still an unknown user-agent: the expected cluster is borrowed,
+        not looked up.
+        """
+        return self.expected_cluster is not None and self.inferred_release is None
 
 
 @dataclass
@@ -96,6 +113,24 @@ class FraudDetector:
             cluster: [parse_ua_key(k) for k in keys]
             for cluster, keys in model.cluster_table.items()
         }
+        # Known releases grouped by (vendor, engine), version-sorted —
+        # the lookup table for ``unknown_ua_policy="infer"``.  Grouping
+        # by engine keeps inference honest across engine transitions:
+        # an unknown edge-78 (EdgeHTML) must map to the nearest legacy
+        # Edge release, never to the numerically adjacent Chromium
+        # edge-79.
+        self._known_releases: Dict[Tuple, List[Tuple[int, str]]] = {}
+        for key in model.ua_to_cluster:
+            try:
+                parsed = parse_ua_key(key)
+            except UserAgentError:
+                continue
+            group = (parsed.vendor, engine_for_vendor(parsed.vendor, parsed.version))
+            self._known_releases.setdefault(group, []).append(
+                (parsed.version, key)
+            )
+        for versions in self._known_releases.values():
+            versions.sort()
 
     # ------------------------------------------------------------------
 
@@ -198,7 +233,17 @@ class FraudDetector:
         return DetectionResult(ua_key, predicted, expected, True, risk)
 
     def _unknown(self, ua_key: str, predicted: int) -> DetectionResult:
-        if self.config.unknown_ua_policy == "flag":
+        policy = self.config.unknown_ua_policy
+        if policy == "infer":
+            inferred = self._infer(ua_key, predicted)
+            if inferred is not None:
+                return inferred
+            # Unparseable key, or no same-vendor/engine release in the
+            # table to borrow from: fall back to the ignore behaviour
+            # (an interim guess with nothing to anchor it would be a
+            # blanket flag in disguise).
+            return DetectionResult(ua_key, predicted, None, False, None)
+        if policy == "flag":
             risk = risk_factor(
                 ua_key,
                 self._cluster_parsed.get(predicted, ()),
@@ -207,6 +252,46 @@ class FraudDetector:
             ) if _parseable(ua_key) else self.config.vendor_mismatch_risk
             return DetectionResult(ua_key, predicted, None, True, risk)
         return DetectionResult(ua_key, predicted, None, False, None)
+
+    def _infer(self, ua_key: str, predicted: int) -> Optional[DetectionResult]:
+        """Score an unknown release against its nearest known neighbour.
+
+        The neighbour is the known release of the same vendor *and*
+        engine with the smallest version distance (ties break toward
+        the older release — the conservative anchor).  The verdict is
+        the ordinary cluster-mismatch decision against the neighbour's
+        expected cluster, with provenance attached.
+        """
+        try:
+            parsed = parse_ua_key(ua_key)
+        except UserAgentError:
+            return None
+        group = (parsed.vendor, engine_for_vendor(parsed.vendor, parsed.version))
+        candidates = self._known_releases.get(group)
+        if not candidates:
+            return None
+        version, nearest = min(
+            candidates, key=lambda entry: (abs(entry[0] - parsed.version), entry[0])
+        )
+        expected = self.model.expected_cluster(nearest)
+        if expected is None:  # pragma: no cover - table/index mismatch guard
+            return None
+        distance = abs(version - parsed.version)
+        if predicted == expected:
+            return DetectionResult(
+                ua_key, predicted, expected, False, None,
+                inferred_release=nearest, inferred_distance=distance,
+            )
+        risk = risk_factor(
+            ua_key,
+            self._cluster_parsed.get(predicted, ()),
+            vendor_mismatch=self.config.vendor_mismatch_risk,
+            version_divisor=self.config.version_divisor,
+        )
+        return DetectionResult(
+            ua_key, predicted, expected, True, risk,
+            inferred_release=nearest, inferred_distance=distance,
+        )
 
 
 def _parseable(ua_key: str) -> bool:

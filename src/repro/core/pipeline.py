@@ -198,6 +198,8 @@ class BrowserPolygraph:
                 expected_cluster=result.expected_cluster,
                 flagged=True,
                 risk_factor=self.config.vendor_mismatch_risk,
+                inferred_release=result.inferred_release,
+                inferred_distance=result.inferred_distance,
             )
         return result
 

@@ -213,6 +213,7 @@ class RetrainingOrchestrator:
         max_window_sessions: Optional[int] = None,
         rollout=None,
         jobs: int = 1,
+        pipeline_config=None,
     ) -> None:
         if not 0.0 < accuracy_floor < 1.0:
             raise ValueError("accuracy_floor must lie in (0, 1)")
@@ -223,16 +224,25 @@ class RetrainingOrchestrator:
         # Worker processes for every fit this orchestrator runs; results
         # are bit-identical at any setting (see repro.ml.parallel).
         self.jobs = jobs
+        # Optional PipelineConfig every fit uses (bootstrap and retrain
+        # candidates alike) — how a deployment trains its serving models
+        # with e.g. ``unknown_ua_policy="infer"`` turned on.
+        self.pipeline_config = pipeline_config
         self.window: Optional[Dataset] = None
         self.current: Optional[BrowserPolygraph] = None
         self.history: List[RetrainingOutcome] = []
+
+    def _fresh_pipeline(self) -> BrowserPolygraph:
+        if self.pipeline_config is not None:
+            return BrowserPolygraph(self.pipeline_config)
+        return BrowserPolygraph()
 
     # ------------------------------------------------------------------
 
     def bootstrap(self, training: Dataset, on: date) -> BrowserPolygraph:
         """Initial training and promotion (version 1)."""
         self.window = training
-        polygraph = BrowserPolygraph().fit(training, jobs=self.jobs)
+        polygraph = self._fresh_pipeline().fit(training, jobs=self.jobs)
         if polygraph.accuracy < self.accuracy_floor:
             raise RuntimeError(
                 f"bootstrap accuracy {polygraph.accuracy:.4f} below the "
@@ -291,7 +301,7 @@ class RetrainingOrchestrator:
             return outcome
 
         extended = self._extend_window(live)
-        candidate = BrowserPolygraph().fit(extended, jobs=self.jobs)
+        candidate = self._fresh_pipeline().fit(extended, jobs=self.jobs)
         verified, detail = self._verify_candidate(candidate, live, drifted)
         reason = (
             f"drift in {', '.join(sorted(drifted))}"

@@ -1,0 +1,30 @@
+"""Release-coverage intelligence.
+
+Closes the unknown-UA blind window: the serving model's cluster table is
+keyed to known browser releases, so every new release opens a gap where
+real traffic (and the adversary's freshest fraud profiles) carries UAs
+the table cannot score.  This package watches that gap at serve time
+(:class:`~repro.coverage.tracker.CoverageTracker`), distinguishes
+release adoption from attack via calendar-derived expected-rate bands,
+and plans proactive refreshes
+(:class:`~repro.coverage.planner.RefreshPlanner`) so retraining starts
+on a release's first day of traffic instead of waiting for the global
+flag-rate alarm.
+"""
+
+from repro.coverage.planner import RefreshDecision, RefreshPlanner
+from repro.coverage.tracker import (
+    CoverageBand,
+    CoverageConfig,
+    CoverageTracker,
+    vendor_of,
+)
+
+__all__ = [
+    "CoverageBand",
+    "CoverageConfig",
+    "CoverageTracker",
+    "RefreshDecision",
+    "RefreshPlanner",
+    "vendor_of",
+]

@@ -1,0 +1,107 @@
+"""Proactive refresh planning from coverage signals.
+
+Two triggers, both hours-of-virtual-day ahead of the global flag-rate
+alarm that PR 8's gauntlet relied on:
+
+1. **Calendar first-day retrain** — a release ships today (per the
+   release calendar) and its key is absent from the serving table, so
+   the planner schedules a forced retrain on the release's first day of
+   traffic instead of waiting for detection to sag.
+2. **Band escalation** — a vendor's windowed unknown-UA rate leaves its
+   expected band (adoption windows widen the band, so this fires on
+   anomalous unknown volume, not on ordinary rollout spikes).
+
+Decisions are pure functions of (day, calendar, tracker state), so a
+seeded gauntlet replay reproduces them bit-identically.  The planner
+does not retrain anything itself — callers route a triggering decision
+into ``RetrainingOrchestrator.scheduled_check(force=True)`` and report
+back via :meth:`note_retrain` so the cooldown can throttle repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Optional, Tuple
+
+from repro.browsers.releases import ReleaseCalendar, default_calendar
+from repro.coverage.tracker import VENDOR_LABELS, CoverageTracker
+
+__all__ = ["RefreshDecision", "RefreshPlanner"]
+
+
+@dataclass(frozen=True)
+class RefreshDecision:
+    """What the planner wants done on one day."""
+
+    retrain: bool
+    force: bool
+    reason: Optional[str]
+    vendors: Tuple[str, ...]
+
+    @property
+    def triggered(self) -> bool:
+        return self.retrain
+
+
+_NO_ACTION = RefreshDecision(retrain=False, force=False, reason=None, vendors=())
+
+
+class RefreshPlanner:
+    """Turns coverage signals into retrain decisions."""
+
+    def __init__(
+        self,
+        tracker: CoverageTracker,
+        calendar: Optional[ReleaseCalendar] = None,
+        cooldown_days: int = 3,
+    ) -> None:
+        if cooldown_days < 0:
+            raise ValueError("cooldown_days must be >= 0")
+        self.tracker = tracker
+        self.calendar = calendar if calendar is not None else default_calendar()
+        self.cooldown_days = cooldown_days
+        self._last_retrain: Optional[date] = None
+
+    def decide(self, day: date) -> RefreshDecision:
+        """The planner's verdict for ``day`` (no side effects)."""
+        if (
+            self._last_retrain is not None
+            and (day - self._last_retrain).days < self.cooldown_days
+        ):
+            return _NO_ACTION
+        shipped = [
+            release
+            for release in self.calendar.new_releases_between(
+                day, day + timedelta(days=1)
+            )
+            if not self.tracker.is_known(release.key())
+        ]
+        if shipped:
+            keys = ", ".join(release.key() for release in shipped)
+            vendors = tuple(
+                sorted({release.vendor.value for release in shipped})
+            )
+            return RefreshDecision(
+                retrain=True,
+                force=True,
+                reason=f"calendar first-day retrain ({keys})",
+                vendors=vendors,
+            )
+        breached = tuple(
+            vendor
+            for vendor in VENDOR_LABELS
+            if self.tracker.out_of_band(vendor, day)
+        )
+        if breached:
+            return RefreshDecision(
+                retrain=True,
+                force=True,
+                reason=f"unknown-rate out of band ({', '.join(breached)})",
+                vendors=breached,
+            )
+        return _NO_ACTION
+
+    def note_retrain(self, day: date) -> None:
+        """Record that a retrain was staged on ``day`` (starts cooldown)."""
+        self._last_retrain = day

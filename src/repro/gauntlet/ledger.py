@@ -50,6 +50,16 @@ DIGEST_COLUMNS: Sequence[str] = (
     "marketplace_stock",
     "stock_age_days",
     "adaptations",
+    # Blind-window accounting: sessions whose claimed UA was absent
+    # from the serving model's table at the start of the day, split by
+    # ground truth, plus the coverage planner's per-day decision.
+    "unknown_sessions",
+    "unknown_fraud",
+    "unknown_fraud_flagged",
+    "unknown_legit",
+    "unknown_legit_flagged",
+    "coverage_trigger",
+    "coverage_reason",
 )
 
 # Wall-clock-dependent columns: recorded for operators, never hashed.
@@ -111,9 +121,18 @@ class DayLedger:
 
     @classmethod
     def from_cells(cls, cells: Sequence[dict]) -> "DayLedger":
-        """Rebuild a ledger from envelope cells (``gauntlet report``)."""
+        """Rebuild a ledger from envelope cells (``gauntlet report``).
+
+        Columns a cell does not carry (artifacts written before those
+        columns existed, e.g. the blind-window tallies) come back as
+        ``None``; :meth:`summary` treats ``None`` as absent.  Cells that
+        are not day rows (the ``aggregate`` summary cell the bench
+        appends) are skipped.
+        """
         ledger = cls()
         for cell in cells:
+            if cell.get("cell") == "aggregate":
+                continue
             fields = {"day": cell["cell"]}
             for name in _ALL_COLUMNS:
                 if name != "day":
@@ -123,27 +142,60 @@ class DayLedger:
 
     # ------------------------------------------------------------------
 
+    def _sum(self, name: str) -> int:
+        """Column sum that tolerates ``None`` entries (older artifacts)."""
+        return sum(v for v in self._columns[name] if v is not None)
+
+    def retrain_lags(self) -> List[int]:
+        """Days from each release day to the next retrain (blind window).
+
+        For every day that shipped at least one release, the lag is the
+        distance to the first same-or-later day whose check retrained;
+        a release never followed by a retrain counts the remaining run
+        length (right-censored).  Lower is better — this is the metric
+        the coverage planner exists to shrink.
+        """
+        releases = self._columns["new_releases"]
+        retrained = self._columns["retrained"]
+        n = len(self)
+        lags: List[int] = []
+        for i in range(n):
+            if not releases[i]:
+                continue
+            for j in range(i, n):
+                if retrained[j]:
+                    lags.append(j - i)
+                    break
+            else:
+                lags.append(n - i)
+        return lags
+
     def summary(self) -> dict:
         """Whole-run aggregates (detection per category, event counts)."""
         per_category = {}
         for cat in (1, 2, 3, 4):
-            total = sum(self._columns[f"fraud_cat{cat}"])
-            flagged = sum(self._columns[f"flagged_cat{cat}"])
+            total = self._sum(f"fraud_cat{cat}")
+            flagged = self._sum(f"flagged_cat{cat}")
             per_category[f"cat{cat}"] = {
                 "sessions": total,
                 "flagged": flagged,
                 "detection_rate": round(flagged / total, 4) if total else None,
             }
-        n_legit = sum(self._columns["n_legit"])
-        fp = sum(self._columns["flagged_legit"])
-        n_fraud = sum(self._columns["n_fraud"])
+        n_legit = self._sum("n_legit")
+        fp = self._sum("flagged_legit")
+        n_fraud = self._sum("n_fraud")
         fraud_flagged = sum(
-            sum(self._columns[f"flagged_cat{c}"]) for c in (1, 2, 3, 4)
+            self._sum(f"flagged_cat{c}") for c in (1, 2, 3, 4)
         )
+        unknown_fraud = self._sum("unknown_fraud")
+        unknown_fraud_flagged = self._sum("unknown_fraud_flagged")
+        unknown_legit = self._sum("unknown_legit")
+        unknown_legit_flagged = self._sum("unknown_legit_flagged")
+        lags = self.retrain_lags()
         p99s = [v for v in self._columns["p99_ms"] if v is not None]
         return {
             "days": len(self),
-            "sessions": sum(self._columns["n_sessions"]),
+            "sessions": self._sum("n_sessions"),
             "legit_sessions": n_legit,
             "fraud_sessions": n_fraud,
             "false_positive_rate": round(fp / n_legit, 5) if n_legit else None,
@@ -151,18 +203,36 @@ class DayLedger:
                 round(fraud_flagged / n_fraud, 4) if n_fraud else None
             ),
             "per_category": per_category,
-            "drift_checks": sum(self._columns["drift_checked"]),
-            "drift_detections": sum(self._columns["drift_detected"]),
-            "retrains": sum(self._columns["retrained"]),
-            "promotions": sum(self._columns["promotions"]),
-            "rollbacks": sum(self._columns["rollbacks"]),
+            "drift_checks": self._sum("drift_checked"),
+            "drift_detections": self._sum("drift_detected"),
+            "retrains": self._sum("retrained"),
+            "promotions": self._sum("promotions"),
+            "rollbacks": self._sum("rollbacks"),
             "final_serving_version": (
                 self._columns["serving_version"][-1] if len(self) else None
             ),
             "monitor_alarm_days": sum(
                 1 for v in self._columns["monitor_alarm"] if v
             ),
-            "adaptations": sum(self._columns["adaptations"]),
+            "adaptations": self._sum("adaptations"),
+            # Blind-window metrics (the coverage subsystem's scoreboard).
+            "unknown_ua_sessions": self._sum("unknown_sessions"),
+            "unknown_ua_fraud_sessions": unknown_fraud,
+            "unknown_ua_detection_rate": (
+                round(unknown_fraud_flagged / unknown_fraud, 4)
+                if unknown_fraud
+                else None
+            ),
+            "unknown_ua_false_positive_rate": (
+                round(unknown_legit_flagged / unknown_legit, 5)
+                if unknown_legit
+                else None
+            ),
+            "coverage_retrain_triggers": self._sum("coverage_trigger"),
+            "mean_retrain_lag_days": (
+                round(sum(lags) / len(lags), 3) if lags else None
+            ),
+            "max_retrain_lag_days": max(lags) if lags else None,
             "p99_ms_max": round(max(p99s), 3) if p99s else None,
             "ledger_digest": self.digest(),
         }

@@ -48,6 +48,7 @@ from repro.cluster.supervisor import ClusterConfig, ShardSupervisor
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import BrowserPolygraph
 from repro.core.retraining import ModelRegistry, RetrainingOrchestrator
+from repro.coverage import CoverageConfig, CoverageTracker, RefreshPlanner
 from repro.fraudbrowsers.marketplace import Marketplace
 from repro.gauntlet.adversary import AdversaryConfig, AdversaryDirector
 from repro.gauntlet.clock import VirtualClock
@@ -118,6 +119,24 @@ class GauntletConfig:
     attacks_per_day: int = 12
     infection_rate: float = 0.025
 
+    # -- coverage intelligence -----------------------------------------
+    # The release-coverage subsystem (repro.coverage): serve-time
+    # unknown-UA tracking with calendar bands plus the proactive
+    # RefreshPlanner.  ``coverage=False`` replays PR 8's reactive
+    # behaviour (the blind-window baseline the bench diffs against).
+    coverage: bool = True
+    # Policy every gauntlet-trained model serves with.  "infer" scores
+    # unknown releases against their nearest known neighbour — the
+    # interim verdict that closes the detection half of the blind
+    # window.  (The library-wide PipelineConfig default stays "ignore".)
+    unknown_ua_policy: str = "infer"
+    coverage_window: int = 4_000
+    coverage_min_observations: int = 400
+    coverage_baseline_rate: float = 0.02
+    coverage_adoption_allowance: float = 0.25
+    coverage_adoption_days: int = 7
+    coverage_cooldown_days: int = 4
+
     # -- storage -------------------------------------------------------
     workdir: Optional[str] = None  # model registry root; tempdir if None
 
@@ -179,6 +198,8 @@ class GauntletOrchestrator:
         self.router: Optional[ClusterRouter] = None
         self.binding: Optional[ClusterRolloutBinding] = None
         self._bootstrap_train: Optional[Dataset] = None
+        self.coverage_tracker: Optional[CoverageTracker] = None
+        self.planner: Optional[RefreshPlanner] = None
         self._since_check: List[Dataset] = []
         self._deferred_check = False
         self._deferred_force = False
@@ -218,13 +239,40 @@ class GauntletOrchestrator:
         self._bootstrap_train = train
 
         self.registry = ModelRegistry(self._workdir())
+        pipeline_config = (
+            PipelineConfig(unknown_ua_policy=cfg.unknown_ua_policy)
+            if cfg.unknown_ua_policy != "ignore"
+            else None
+        )
         self.retrainer = RetrainingOrchestrator(
             self.registry,
             accuracy_floor=cfg.accuracy_floor,
             max_window_sessions=cfg.max_window_sessions,
             jobs=cfg.jobs,
+            pipeline_config=pipeline_config,
         )
         self.retrainer.bootstrap(train, on=cfg.start)
+
+        if cfg.coverage:
+            # The tracker is fed centrally from each day's dataset (in
+            # row order) rather than from inside the concurrent scoring
+            # path: its state feeds the planner, which feeds the ledger
+            # digest, so it must be a pure function of the seed.
+            self.coverage_tracker = CoverageTracker(
+                calendar=self.factory.calendar,
+                config=CoverageConfig(
+                    window=cfg.coverage_window,
+                    min_observations=cfg.coverage_min_observations,
+                    baseline_rate=cfg.coverage_baseline_rate,
+                    adoption_allowance=cfg.coverage_adoption_allowance,
+                    adoption_days=cfg.coverage_adoption_days,
+                ),
+            )
+            self.planner = RefreshPlanner(
+                self.coverage_tracker,
+                calendar=self.factory.calendar,
+                cooldown_days=cfg.coverage_cooldown_days,
+            )
 
         # The heartbeat interval is pushed out past any single day's
         # scoring: shard recovery runs synchronously at day boundaries
@@ -348,9 +396,40 @@ class GauntletOrchestrator:
         )
         self.adversary.harvest(dataset.subset(legit_mask))
 
-        # -- drift checks (scheduled, alarm-forced, deferred retry) ----
+        # -- blind-window accounting and coverage intelligence ---------
+        # "Unknown" is judged against the serving model's release table
+        # as of the start of the day — the operator's view, not the
+        # adversary's.  Tallied even with coverage off so the baseline
+        # run measures the same blind window it leaves open.
+        table = self.retrainer.current.cluster_model.ua_to_cluster
+        known_mask = np.array(
+            [str(key) in table for key in dataset.ua_keys], dtype=bool
+        )
+        unknown_mask = ~known_mask
+        unknown_fraud_mask = unknown_mask & ~legit_mask
+        unknown_legit_mask = unknown_mask & legit_mask
+        decision = None
+        if self.coverage_tracker is not None:
+            self.coverage_tracker.set_known_keys(
+                table, generation=self.supervisor.serving_version
+            )
+            self.coverage_tracker.observe_many(
+                [str(key) for key in dataset.ua_keys], day=day
+            )
+            decision = self.planner.decide(day)
+
+        # -- drift checks (scheduled, alarm-forced, planner, retry) ----
         self._since_check.append(dataset)
-        outcome = self._maybe_check(day, planned)
+        outcome = self._maybe_check(day, planned, decision)
+        if (
+            outcome is not None
+            and outcome.retrained
+            and self.planner is not None
+        ):
+            # Any retrain (scheduled or planner-driven) restarts the
+            # planner cooldown — the window it wanted refreshed is now
+            # in flight.
+            self.planner.note_retrain(day)
 
         # -- rollout day boundary --------------------------------------
         self.binding.note_traffic(
@@ -395,6 +474,15 @@ class GauntletOrchestrator:
             marketplace_stock=self.marketplace.stock,
             stock_age_days=round(self.marketplace.average_age_days(day), 2),
             adaptations=adaptations_today,
+            unknown_sessions=int(unknown_mask.sum()),
+            unknown_fraud=int(unknown_fraud_mask.sum()),
+            unknown_fraud_flagged=int(flags[unknown_fraud_mask].sum()),
+            unknown_legit=int(unknown_legit_mask.sum()),
+            unknown_legit_flagged=int(flags[unknown_legit_mask].sum()),
+            coverage_trigger=int(decision.triggered) if decision else 0,
+            coverage_reason=(
+                decision.reason if decision and decision.triggered else None
+            ),
             p50_ms=round(percentile(latencies, 50), 3),
             p99_ms=round(percentile(latencies, 99), 3),
             failovers=failovers - self._prev_failovers,
@@ -407,7 +495,7 @@ class GauntletOrchestrator:
     # ------------------------------------------------------------------
     # drift checks
 
-    def _maybe_check(self, day: date, planned: Dict[date, object]):
+    def _maybe_check(self, day: date, planned: Dict[date, object], decision=None):
         """Run a retraining check if today warrants one."""
         due = day in planned
         alarm = (
@@ -419,12 +507,19 @@ class GauntletOrchestrator:
             )
         )
         retry = self._deferred_check and not self.binding.in_flight
-        if not (due or alarm or retry):
+        coverage = decision is not None and decision.retrain
+        if not (due or alarm or retry or coverage):
             return None
         # An alarm with a clean drift report still forces a window
         # refresh: the monitor is the only signal that catches the
         # model's unknown-UA blind spot growing between drift episodes.
-        force = alarm or (retry and self._deferred_force)
+        # A coverage-planner trigger (first-day release, band breach)
+        # forces one for the same reason, without waiting for the alarm.
+        force = (
+            alarm
+            or (retry and self._deferred_force)
+            or (coverage and decision.force)
+        )
         live = Dataset.concatenate(self._since_check)
         outcome = self.retrainer.scheduled_check(live, on=day, force=force)
         if alarm:

@@ -37,11 +37,23 @@ def write_gauntlet_json(result, path: Union[str, "Path"], extra: Optional[dict] 
     }
     if extra:
         merged.update(extra)
+    # Whole-run scalars ride along as one extra ``aggregate`` cell so
+    # ``benchio diff`` can gate run-level metrics (unknown-UA detection
+    # rate, retrain lag) across artifacts; ``DayLedger.from_cells``
+    # skips it when rebuilding day rows.
+    aggregate = {"cell": "aggregate"}
+    aggregate.update(
+        {
+            key: value
+            for key, value in result.summary.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+    )
     return write_bench_json(
         path,
         benchmark="gauntlet",
         config=config,
-        cells=result.ledger.to_cells(),
+        cells=result.ledger.to_cells() + [aggregate],
         extra=merged,
     )
 
@@ -95,6 +107,26 @@ def render_report(ledger: DayLedger, adversary: Optional[dict] = None) -> str:
             summary["final_serving_version"],
         )
     )
+    if summary["unknown_ua_sessions"]:
+        lines.append(
+            "  unknown-ua blind window: %d sessions (%d fraud) | "
+            "detection %s | fp %s"
+            % (
+                summary["unknown_ua_sessions"],
+                summary["unknown_ua_fraud_sessions"],
+                _fmt_rate(summary["unknown_ua_detection_rate"]),
+                _fmt_rate(summary["unknown_ua_false_positive_rate"]),
+            )
+        )
+        lag = summary["mean_retrain_lag_days"]
+        lines.append(
+            "  coverage triggers %d | retrain lag mean %s / max %s days"
+            % (
+                summary["coverage_retrain_triggers"],
+                "-" if lag is None else f"{lag:.1f}",
+                summary["max_retrain_lag_days"],
+            )
+        )
     if summary["p99_ms_max"] is not None:
         lines.append(f"  worst day p99 {summary['p99_ms_max']:.3f} ms")
     lines.append(f"  ledger digest {summary['ledger_digest'][:16]}...")
@@ -122,6 +154,9 @@ def render_timeline(ledger: DayLedger, limit: Optional[int] = None) -> str:
         keys = ledger.column("new_release_keys")[i]
         if keys:
             events.append("ships " + ", ".join(keys))
+        reason = ledger.column("coverage_reason")[i]
+        if reason:
+            events.append(f"coverage trigger: {reason}")
         if ledger.column("drift_checked")[i]:
             detected = ledger.column("drift_detected")[i]
             events.append("drift check" + (": DRIFT" if detected else ": clean"))

@@ -302,10 +302,24 @@ class RolloutManager:
         return candidate, mirror
 
     def mirror(self, values, ua_key, result) -> None:
-        """Hand a live-arm verdict to the shadow scorer (non-blocking)."""
+        """Hand a live-arm verdict to the shadow scorer (non-blocking).
+
+        Interim inferred *flags* (``unknown_ua_policy="infer"`` flagging
+        an unknown release scored against its nearest known neighbour)
+        are not comparison evidence: a candidate retrained to *know*
+        that release is expected to disagree with them, and counting
+        those disagreements would veto exactly the refreshes the
+        coverage planner schedules.  Inferred pass verdicts still
+        mirror — a candidate that flags traffic live waves through is
+        overblocking, which the guardrails must keep seeing (the chaos
+        drill's stale candidate fails exactly this way).
+        """
         shadow = self._shadow
-        if shadow is not None:
-            shadow.mirror(values, ua_key, result.flagged, result.risk_factor)
+        if shadow is None:
+            return
+        if getattr(result, "inferred_release", None) is not None and result.flagged:
+            return
+        shadow.mirror(values, ua_key, result.flagged, result.risk_factor)
 
     def candidate_detector(self):
         """The frozen detector snapshot canary batches score against."""

@@ -41,11 +41,12 @@ import threading
 import time
 from dataclasses import dataclass
 from datetime import date
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.pipeline import BrowserPolygraph
+from repro.coverage.tracker import vendor_of
 from repro.fingerprint.script import FingerprintPayload
 from repro.runtime.batcher import MicroBatcher
 from repro.runtime.cache import VerdictCache
@@ -218,6 +219,10 @@ class RuntimeScoringService:
         )
         self.scored_count = 0
         self.flagged_count = 0
+        # Per-vendor unknown-UA volume (polygraph_unknown_ua_total) and
+        # the optional coverage tracker fed from every scoring path.
+        self.unknown_ua_counts: Dict[str, int] = {}
+        self.coverage = None
         self._sample_every = config.latency_sample_every
         self._lock = threading.Lock()  # scored/flagged counters
         # Wire-contract enforcement lives in the shared fast-ingest
@@ -318,6 +323,15 @@ class RuntimeScoringService:
                     self.scored_count += 1
                     if result.flagged:
                         self.flagged_count += 1
+                    if not result.known_ua:
+                        vendor = vendor_of(result.ua_key)
+                        self.unknown_ua_counts[vendor] = (
+                            self.unknown_ua_counts.get(vendor, 0) + 1
+                        )
+                if self.coverage is not None:
+                    self.coverage.observe(
+                        result.ua_key, known=result.known_ua, day=day
+                    )
                 latency = (time.perf_counter() - started) * 1000.0
                 if self.scored_count % self._sample_every == 0:
                     self.runtime_stats.observe_stage("total", latency)
@@ -329,6 +343,8 @@ class RuntimeScoringService:
                         risk_factor=result.risk_factor,
                         reject_reason=None,
                         latency_ms=latency,
+                        inferred_release=result.inferred_release,
+                        inferred_distance=result.inferred_distance,
                     )
                 )
         handle = PendingVerdict()
@@ -371,6 +387,24 @@ class RuntimeScoringService:
             self._rollout = None
 
     # ------------------------------------------------------------------
+    # coverage
+
+    def attach_coverage(self, tracker) -> "RuntimeScoringService":
+        """Feed a :class:`~repro.coverage.tracker.CoverageTracker`.
+
+        The tracker's known-release table is seeded from the live model
+        here and re-synced inside :meth:`_on_model_swap`, so shard
+        restarts and retrains keep classification aligned with the
+        serving generation.
+        """
+        self.coverage = tracker
+        generation, detector = self.polygraph.detection_snapshot()
+        tracker.set_known_keys(
+            detector.model.ua_to_cluster, generation=generation
+        )
+        return self
+
+    # ------------------------------------------------------------------
     # retraining
 
     def retrain(
@@ -390,6 +424,11 @@ class RuntimeScoringService:
         if self.cache is not None:
             self.cache.invalidate(generation)
         self._ingest.clear_ua_memo()
+        if self.coverage is not None:
+            _, detector = self.polygraph.detection_snapshot()
+            self.coverage.set_known_keys(
+                detector.model.ua_to_cluster, generation=generation
+            )
 
     # ------------------------------------------------------------------
     # metrics
@@ -429,9 +468,18 @@ class RuntimeScoringService:
             self.cache.sync_stats()
             stats.set_gauge("cache_entries", len(self.cache))
         lines = stats.render_prometheus()
+        with self._lock:
+            unknown = dict(self.unknown_ua_counts)
+        for vendor in sorted(unknown):
+            lines.append(
+                f'polygraph_unknown_ua_total{{vendor="{vendor}"}} '
+                f"{unknown[vendor]}"
+            )
         rollout = self._rollout
         if rollout is not None:
             lines.extend(rollout.metrics_lines())
+        if self.coverage is not None:
+            lines.extend(self.coverage.metrics_lines())
         return lines
 
     # ------------------------------------------------------------------
@@ -531,6 +579,8 @@ class RuntimeScoringService:
         completed_at = time.perf_counter()
         scored = 0
         flagged = 0
+        unknown: Dict[str, int] = {}
+        coverage = self.coverage
         for request, result in zip(requests, results):
             if self.cache is not None and request.cache_key is not None:
                 self.cache.put(request.cache_key, result, generation=generation)
@@ -540,6 +590,11 @@ class RuntimeScoringService:
             scored += 1
             if final.flagged:
                 flagged += 1
+            if not final.known_ua:
+                vendor = vendor_of(final.ua_key)
+                unknown[vendor] = unknown.get(vendor, 0) + 1
+            if coverage is not None:
+                coverage.observe(final.ua_key, known=final.known_ua)
             request.handle._complete(
                 Verdict(
                     session_id=request.session_id,
@@ -548,8 +603,14 @@ class RuntimeScoringService:
                     risk_factor=final.risk_factor,
                     reject_reason=None,
                     latency_ms=(completed_at - request.started_at) * 1000.0,
+                    inferred_release=final.inferred_release,
+                    inferred_distance=final.inferred_distance,
                 )
             )
         with self._lock:
             self.scored_count += scored
             self.flagged_count += flagged
+            for vendor, count in unknown.items():
+                self.unknown_ua_counts[vendor] = (
+                    self.unknown_ua_counts.get(vendor, 0) + count
+                )

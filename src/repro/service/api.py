@@ -23,7 +23,10 @@ under any WSGI server (``wsgiref.simple_server`` works for demos):
   ``day`` context, answered with the cluster verdict *and* the fused
   verdict + agreement cell (404 when no fusion arm is attached);
 * ``GET  /fusion`` — fusion-arm status: agreement-cell counters,
-  guardrail state, and the model summary.
+  guardrail state, and the model summary;
+* ``GET  /coverage`` — release-coverage intelligence: per-vendor
+  unknown-UA rates against their calendar-derived expected bands plus
+  the top unknown releases (404 when no tracker is attached).
 
 The app never exposes more than the verdict: the cluster table and the
 model internals stay server-side, which matters because Algorithm 1's
@@ -63,11 +66,19 @@ class CollectionApp:
     :class:`~repro.sessions.service.SessionScoringService` wrapping the
     same inner service; the event-stream endpoints 404 without it, and
     its ``polygraph_session_*`` registry joins ``/metrics`` with it.
+
+    ``coverage`` optionally attaches a
+    :class:`~repro.coverage.tracker.CoverageTracker`; ``GET /coverage``
+    404s without it.  (Its ``polygraph_coverage_*`` lines reach
+    ``/metrics`` through the scoring service it is attached to.)
     """
 
-    def __init__(self, service: ScoringService, sessions=None) -> None:
+    def __init__(
+        self, service: ScoringService, sessions=None, coverage=None
+    ) -> None:
         self.service = service
         self.sessions = sessions
+        self.coverage = coverage
 
     # ------------------------------------------------------------------
 
@@ -90,6 +101,8 @@ class CollectionApp:
             return self._check(environ, start_response)
         if method == "GET" and path == "/fusion":
             return self._fusion(start_response)
+        if method == "GET" and path == "/coverage":
+            return self._coverage(start_response)
         if method == "POST" and path == "/event":
             return self._event(environ, start_response)
         if method == "GET" and path == "/sessions":
@@ -208,6 +221,17 @@ class CollectionApp:
             )
         return self._respond(start_response, "200 OK", arm.status_dict())
 
+    def _coverage(self, start_response: Callable) -> List[bytes]:
+        if self.coverage is None:
+            return self._respond(
+                start_response,
+                "404 Not Found",
+                {"error": "coverage tracking not enabled"},
+            )
+        return self._respond(
+            start_response, "200 OK", self.coverage.status_dict()
+        )
+
     def _event(self, environ: dict, start_response: Callable) -> List[bytes]:
         if self.sessions is None:
             return self._respond(
@@ -309,6 +333,20 @@ class CollectionApp:
         runtime_lines = getattr(self.service, "runtime_metrics_lines", None)
         if runtime_lines is not None:
             lines.extend(runtime_lines())
+        else:
+            # The per-request service has no metrics registry; its
+            # unknown-UA counters and coverage lines are emitted here.
+            # (The runtime and cluster router emit their own copies
+            # inside runtime_metrics_lines.)
+            unknown = getattr(self.service, "unknown_ua_counts", None) or {}
+            for vendor in sorted(unknown):
+                lines.append(
+                    f'polygraph_unknown_ua_total{{vendor="{vendor}"}} '
+                    f"{unknown[vendor]}"
+                )
+            coverage = getattr(self.service, "coverage", None)
+            if coverage is not None:
+                lines.extend(coverage.metrics_lines())
         fusion = getattr(self.service, "fusion", None)
         if fusion is not None:
             lines.extend(fusion.metrics_lines())

@@ -10,9 +10,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from datetime import date
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.pipeline import BrowserPolygraph
+from repro.coverage.tracker import vendor_of
 from repro.service.ingest import IngestResult, PayloadValidator
 from repro.service.storage import SessionStore
 from repro.traffic.dataset import Dataset
@@ -28,7 +29,10 @@ class Verdict:
     verdict — the fusion arm is additive-only, so these stay
     bit-identical whether fusion is attached or not.  The ``fused_*`` /
     ``second_*`` provenance fields are populated only when a fusion arm
-    scored the session, and stay ``None`` otherwise.
+    scored the session, and stay ``None`` otherwise.  Likewise the
+    ``inferred_*`` fields carry nearest-release provenance only under
+    ``unknown_ua_policy="infer"`` for sessions whose claimed UA was
+    outside the trained table.
     """
 
     session_id: str
@@ -41,6 +45,8 @@ class Verdict:
     fusion_cell: Optional[str] = None
     second_probability: Optional[float] = None
     second_lift: Optional[float] = None
+    inferred_release: Optional[str] = None
+    inferred_distance: Optional[int] = None
 
     @property
     def actionable(self) -> bool:
@@ -80,8 +86,12 @@ class ScoringService:
         self.validator = validator if validator is not None else PayloadValidator()
         self.store = store
         self.fusion = None
+        self.coverage = None
         self.scored_count = 0
         self.flagged_count = 0
+        # Per-vendor unknown-UA volume, observable even without the
+        # coverage subsystem attached (polygraph_unknown_ua_total).
+        self.unknown_ua_counts: Dict[str, int] = {}
         if fusion is not None:
             self.attach_fusion(fusion)
 
@@ -89,6 +99,31 @@ class ScoringService:
         """Attach a fusion arm bound to this service's pipeline."""
         self.fusion = arm.bind_pipeline(self.polygraph)
         return self
+
+    def attach_coverage(self, tracker) -> "ScoringService":
+        """Attach a :class:`~repro.coverage.tracker.CoverageTracker`.
+
+        The tracker's known-release table is seeded from the current
+        model and re-synced on every retrain, so its classification
+        always matches the serving generation.
+        """
+        self.coverage = tracker
+        generation, detector = self.polygraph.detection_snapshot()
+        tracker.set_known_keys(
+            detector.model.ua_to_cluster, generation=generation
+        )
+        self.polygraph.add_retrain_listener(
+            lambda gen: self._sync_coverage(gen)
+        )
+        return self
+
+    def _sync_coverage(self, generation: int) -> None:
+        if self.coverage is None:
+            return
+        _, detector = self.polygraph.detection_snapshot()
+        self.coverage.set_known_keys(
+            detector.model.ua_to_cluster, generation=generation
+        )
 
     def score_wire(
         self,
@@ -120,6 +155,13 @@ class ScoringService:
         self.scored_count += 1
         if result.flagged:
             self.flagged_count += 1
+        if not result.known_ua:
+            vendor = vendor_of(result.ua_key)
+            self.unknown_ua_counts[vendor] = (
+                self.unknown_ua_counts.get(vendor, 0) + 1
+            )
+        if self.coverage is not None:
+            self.coverage.observe(result.ua_key, known=result.known_ua, day=day)
         fused_flagged = None
         fusion_cell = None
         second_probability = None
@@ -149,6 +191,8 @@ class ScoringService:
             fusion_cell=fusion_cell,
             second_probability=second_probability,
             second_lift=second_lift,
+            inferred_release=result.inferred_release,
+            inferred_distance=result.inferred_distance,
         )
 
     def retrain(

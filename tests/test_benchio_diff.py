@@ -63,6 +63,29 @@ class TestDiffDocuments:
         metrics = {metric for _, metric, *_ in result["rows"]}
         assert "deterministic" not in metrics
 
+    def test_extra_gate_fails_on_drop(self, tmp_path):
+        old = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.04, "old.json"))
+        new = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.02, "new.json"))
+        result = diff_bench_documents(
+            old, new, max_regress=0.15, extra_gates=["flag_rate"]
+        )
+        assert len(result["regressions"]) == 1
+        assert "flag_rate" in result["regressions"][0]
+
+    def test_lower_is_better_gates_rises_not_drops(self, tmp_path):
+        old = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.02, "old.json"))
+        worse = read_bench_json(_doc(tmp_path, "b", 1000.0, 0.04, "new.json"))
+        result = diff_bench_documents(
+            old, worse, max_regress=0.15, lower_is_better=["flag_rate"]
+        )
+        assert len(result["regressions"]) == 1
+        assert "lower is better" in result["regressions"][0]
+        # The same metric falling is an improvement, never a regression.
+        result = diff_bench_documents(
+            worse, old, max_regress=0.15, lower_is_better=["flag_rate"]
+        )
+        assert result["regressions"] == []
+
 
 class TestDiffCli:
     def test_exit_zero_within_tolerance(self, tmp_path, capsys):
@@ -87,3 +110,15 @@ class TestDiffCli:
         old = _doc(tmp_path, "alpha", 1000.0, 0.02, "old.json")
         new = _doc(tmp_path, "beta", 1000.0, 0.02, "new.json")
         assert main(["diff", str(old), str(new)]) == 2
+
+    def test_gate_and_lower_is_better_flags(self, tmp_path):
+        old = _doc(tmp_path, "b", 1000.0, 0.02, "old.json")
+        new = _doc(tmp_path, "b", 1000.0, 0.04, "new.json")
+        # flag_rate doubled: fine by default, a regression when gated
+        # in the lower-is-better direction, fine as a higher-is-better
+        # gate.
+        assert main(["diff", str(old), str(new)]) == 0
+        assert main(
+            ["diff", str(old), str(new), "--lower-is-better", "flag_rate"]
+        ) == 1
+        assert main(["diff", str(old), str(new), "--gate", "flag_rate"]) == 0

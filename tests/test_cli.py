@@ -330,6 +330,74 @@ def test_cluster_status_unreachable_server(capsys):
     assert "cannot reach" in capsys.readouterr().err
 
 
+def test_serve_parser_accepts_coverage_flag(artifacts):
+    from repro.cli import _build_parser
+
+    _, model_path = artifacts
+    args = _build_parser().parse_args(["serve", model_path, "--coverage"])
+    assert args.coverage is True
+    args = _build_parser().parse_args(["serve", model_path])
+    assert args.coverage is False
+
+
+def test_coverage_status_command_against_live_server(artifacts, capsys):
+    import threading
+    from wsgiref.simple_server import make_server
+
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.coverage import CoverageTracker
+    from repro.service.api import CollectionApp
+    from repro.service.scoring import ScoringService
+
+    _, model_path = artifacts
+    service = ScoringService(BrowserPolygraph.load(model_path))
+    tracker = CoverageTracker()
+    service.attach_coverage(tracker)
+    httpd = make_server(
+        "127.0.0.1", 0, CollectionApp(service, coverage=tracker)
+    )
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{httpd.server_port}"
+        assert main(["coverage", "status", "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert "known releases" in out
+        assert "chrome" in out and "firefox" in out
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5)
+        httpd.server_close()
+
+
+def test_coverage_status_reports_untracked_server(artifacts, capsys):
+    import threading
+    from wsgiref.simple_server import make_server
+
+    from repro.core.pipeline import BrowserPolygraph
+    from repro.service.api import CollectionApp
+    from repro.service.scoring import ScoringService
+
+    _, model_path = artifacts
+    service = ScoringService(BrowserPolygraph.load(model_path))
+    httpd = make_server("127.0.0.1", 0, CollectionApp(service))
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{httpd.server_port}"
+        assert main(["coverage", "status", "--url", url]) == 1
+        assert "without coverage" in capsys.readouterr().out
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5)
+        httpd.server_close()
+
+
+def test_coverage_status_unreachable_server(capsys):
+    assert main(["coverage", "status", "--url", "http://127.0.0.1:1"]) == 2
+    assert "cannot reach" in capsys.readouterr().err
+
+
 def test_serve_drains_on_sigterm(artifacts):
     import os
     import signal

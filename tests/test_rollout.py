@@ -200,6 +200,38 @@ class TestDisagreementReport:
         assert restored.disagreement_rate == report.disagreement_rate
 
 
+class TestInferredVerdictMirroring:
+    """Interim inferred *flags* are not comparison evidence; passes are.
+
+    A candidate retrained to know a fresh release rightly disagrees
+    with live's inferred false flags on it — those pairs must not feed
+    the disagreement guardrail.  But live's inferred passes still
+    mirror, so an overblocking candidate (the chaos drill) is caught.
+    """
+
+    class _Result:
+        def __init__(self, flagged, inferred_release):
+            self.flagged = flagged
+            self.risk_factor = 2 if flagged else None
+            self.inferred_release = inferred_release
+
+    def test_only_inferred_flags_are_skipped(self, registry, tmp_path):
+        manager = RolloutManager(
+            registry, state_path=tmp_path / "rollout.json"
+        )
+        seen = []
+
+        class _Shadow:
+            def mirror(self, values, ua_key, flagged, risk):
+                seen.append((ua_key, flagged))
+
+        manager._shadow = _Shadow()
+        manager.mirror(None, "chrome-200", self._Result(True, "chrome-114"))
+        manager.mirror(None, "chrome-200", self._Result(False, "chrome-114"))
+        manager.mirror(None, "chrome-114", self._Result(True, None))
+        assert seen == [("chrome-200", False), ("chrome-114", True)]
+
+
 class TestHealthyRollout:
     """A well-behaved candidate walks shadow → canary → live."""
 
